@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark drives the same entry points as ``python -m repro.eval``;
+pytest-benchmark times the regeneration and the assertions pin the *shape*
+of each result to the paper's (who wins, by roughly what factor).
+"""
+
+import pytest
+
+from repro.runtime.model import IBM_SP2
+
+
+@pytest.fixture(scope="session")
+def model():
+    return IBM_SP2
+
+
+def measure(bench, strategy, nprocs, shape=(64, 64, 64), niter=1):
+    """One modeled run; returns virtual seconds per timestep."""
+    from repro.parallel import run_parallel
+
+    r = run_parallel(
+        bench, strategy, nprocs, shape, niter, IBM_SP2,
+        functional=False, record_trace=False,
+    )
+    return r.time / niter

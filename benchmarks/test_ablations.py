@@ -1,0 +1,120 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each optimization of the paper is toggled in the dHPF-style schedule and
+its effect measured on the virtual machine:
+
+- §7 availability analysis (anti-pipeline reads): "eliminating this
+  communication proved essential for obtaining an efficient pipeline";
+- the residual spurious message between successive pipelines (§8.1 says
+  removing it is future work — we measure the gain);
+- §4.2 LOCALIZE (vs fetching reciprocal boundaries);
+- coarse-grain pipelining granularity (§8.1: one uniform granularity is
+  suboptimal; we sweep it);
+- message coalescing and availability at the analysis level (message
+  counts from the compiler's own comm plans).
+"""
+
+import pytest
+
+from repro.comm import CommAnalyzer
+from repro.cp import CPGrouper
+from repro.cp.select import CPSelector
+from repro.distrib import DistributionContext, PDIM
+from repro.frontend import parse_source
+from repro.nas import kernels
+from repro.parallel import run_parallel
+from repro.parallel.dhpf import DhpfOptions
+from repro.runtime.model import IBM_SP2
+
+SHAPE = (64, 64, 64)
+
+
+def sp_time(options: DhpfOptions, nprocs: int = 16) -> float:
+    r = run_parallel("sp", "dhpf", nprocs, SHAPE, 1, IBM_SP2,
+                     functional=False, record_trace=False, options=options)
+    return r.time
+
+
+class TestScheduleAblations:
+    def test_availability_essential_for_pipeline(self, benchmark):
+        base = benchmark(sp_time, DhpfOptions())
+        no_avail = sp_time(DhpfOptions(availability=False))
+        # §7: without it, reads flow against the pipeline. The y/z solves
+        # are only ~half the timestep, so >=10% on the whole step means the
+        # pipelines themselves degraded badly.
+        assert no_avail > base * 1.10
+
+    def test_spurious_message_costs(self, benchmark):
+        fixed = benchmark(sp_time, DhpfOptions(spurious_between_pipelines=False))
+        base = sp_time(DhpfOptions())
+        assert fixed < base  # the paper's proposed improvement helps
+
+    def test_localize_removes_messages_without_time_loss(self, benchmark):
+        """§4.2's trade: replicate a little boundary computation to delete
+        whole message classes.  At this scale the *time* is roughly a wash
+        (the replicated flops pay for the saved latency) but the message
+        count strictly drops — and messages are what hurt as P grows."""
+        def run(opt):
+            r = run_parallel("sp", "dhpf", 16, SHAPE, 1, IBM_SP2,
+                             functional=False, record_trace=True, options=opt)
+            return r.time, len(r.trace.messages())
+
+        (t_loc, m_loc) = benchmark(run, DhpfOptions())
+        (t_fetch, m_fetch) = run(DhpfOptions(localize=False))
+        assert m_loc < m_fetch
+        assert t_loc <= t_fetch * 1.02  # no time regression from replication
+
+    @pytest.mark.parametrize("g", [2, 8, 32])
+    def test_granularity_sweep(self, benchmark, g):
+        t = benchmark(sp_time, DhpfOptions(granularity=g))
+        assert t > 0
+
+    def test_granularity_has_an_interior_optimum_or_monotone(self):
+        """dHPF applied one uniform granularity; the sweep shows the
+        trade-off (too fine = latency-bound, too coarse = idle-bound)."""
+        ts = {g: sp_time(DhpfOptions(granularity=g)) for g in (1, 4, 16, 64)}
+        assert ts[64] != ts[1]  # the knob matters
+        best = min(ts, key=ts.get)
+        assert best in (4, 16)  # interior optimum on this model
+
+    def test_auto_granularity_beats_uniform(self):
+        """The paper's future work ('independent granularity selection for
+        each loop nest would lead to superior results'), implemented:
+        analytic per-nest G must match or beat every uniform choice."""
+        auto = sp_time(DhpfOptions(granularity=0))
+        for g in (1, 4, 8, 16, 64):
+            assert auto <= sp_time(DhpfOptions(granularity=g)) * 1.05
+
+
+class TestAnalysisAblations:
+    @pytest.fixture(scope="class")
+    def ysolve(self):
+        sub = parse_source(kernels.Y_SOLVE_SP).get("y_solve")
+        ev = {"n": 17, "m": 0}
+        ctx = DistributionContext(sub, nprocs=4, params=ev)
+        loop = sub.body[0]
+        res = CPGrouper(ctx, CPSelector(ctx, eval_params=ev)).group(loop, params=ev)
+        return ctx, loop, res, ev
+
+    def test_availability_message_reduction(self, benchmark, ysolve):
+        ctx, loop, res, ev = ysolve
+        binding = {**ev, PDIM(0): 0, PDIM(1): 0}
+
+        def both():
+            w = CommAnalyzer(loop, res.cps, ctx, ev, use_availability=True).analyze()
+            wo = CommAnalyzer(loop, res.cps, ctx, ev, use_availability=False).analyze()
+            return w.total_messages(binding), wo.total_messages(binding)
+
+        with_a, without = benchmark(both)
+        assert with_a < 0.6 * without  # "about half the communication"
+
+    def test_coalescing_message_reduction(self, benchmark, ysolve):
+        ctx, loop, res, ev = ysolve
+
+        def both():
+            m = CommAnalyzer(loop, res.cps, ctx, ev, coalesce=True).analyze()
+            r = CommAnalyzer(loop, res.cps, ctx, ev, coalesce=False).analyze()
+            return len(m.live_events()), len(r.live_events())
+
+        merged, raw = benchmark(both)
+        assert merged < raw

@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Figures 8.1-8.4 (space-time diagrams, 16 procs).
+
+The figures' message is quantified: the hand-coded multipartitioned runs
+(8.1, 8.3) show near-perfect load balance and low idle; the dHPF pipelined
+runs (8.2, 8.4) idle more, SP worse than BT (the paper's Figure 8.4 notes
+dHPF-BT is "much more efficient" than dHPF-SP).
+"""
+
+import pytest
+
+from repro.eval import spacetime_figure
+
+
+@pytest.mark.parametrize("fid", ["8.1", "8.2", "8.3", "8.4"])
+def test_figure_generates(benchmark, fid):
+    fig = benchmark(spacetime_figure, fid, 16)
+    art = fig.ascii(width=80)
+    assert art.count("\n") == 16 + 1
+    assert "#" in art
+
+
+def test_figure_8_1_vs_8_2_idle(benchmark):
+    hand = benchmark(spacetime_figure, "8.1", 16)
+    dhpf = spacetime_figure("8.2", 16)
+    assert hand.mean_idle() < 0.25
+    assert dhpf.mean_idle() > hand.mean_idle()
+
+
+def test_figure_8_3_vs_8_4_idle():
+    hand = spacetime_figure("8.3", 16)
+    dhpf = spacetime_figure("8.4", 16)
+    assert hand.mean_idle() < 0.25
+    assert dhpf.mean_idle() >= hand.mean_idle() * 0.8  # BT pipelines cheaply
+
+
+def test_dhpf_bt_pipelines_better_than_sp():
+    sp = spacetime_figure("8.2", 16)
+    bt = spacetime_figure("8.4", 16)
+    assert bt.mean_idle() < sp.mean_idle()
+
+
+def test_hand_load_balance():
+    fig = spacetime_figure("8.1", 16)
+    busy = [fig.trace.busy_time(r) for r in range(16)]
+    assert max(busy) / min(busy) < 1.05
+
+
+def test_messages_present_in_traces():
+    fig = spacetime_figure("8.2", 16)
+    msgs = fig.trace.messages()
+    assert msgs
+    # pipelined sends target grid neighbors
+    assert all(m.peer is not None for m in msgs)

@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Table 8.1 (SP, Class A and B).
+
+Each benchmark times the table-row generation on the virtual machine and
+asserts the paper's shape: hand-written < dHPF < PGI for SP at every
+processor count; dHPF within ~1.7x of hand-written at 25 processors; the
+efficiency gap narrows from Class A to Class B.
+"""
+
+import pytest
+
+from conftest import measure
+from repro.eval.tables import build_table
+from repro.nas.classes import CLASSES
+from repro.runtime.model import IBM_SP2
+
+
+@pytest.mark.parametrize("nprocs", [4, 9, 16, 25])
+def test_sp_class_a_row(benchmark, nprocs):
+    rows = benchmark(build_table, "sp", "A", [nprocs], IBM_SP2, 1)
+    (row,) = rows
+    t = row.time
+    assert t["handmpi"] < t["dhpf"] < t["pgi"]
+
+
+def test_sp_class_a_full_table(benchmark):
+    rows = benchmark(build_table, "sp", "A", [4, 9, 16, 25], IBM_SP2, 1)
+    by_p = {r.nprocs: r for r in rows}
+    # headline: dHPF within ~33% efficiency loss band at 25 procs
+    ratio25 = by_p[25].time["dhpf"] / by_p[25].time["handmpi"]
+    assert 1.2 < ratio25 < 2.0
+    # efficiency declines with P
+    assert by_p[25].efficiency["dhpf"] < by_p[4].efficiency["dhpf"]
+    # dHPF efficiency uniformly better than PGI for SP (paper's claim)
+    for p in (4, 9, 16, 25):
+        assert by_p[p].efficiency["dhpf"] > by_p[p].efficiency["pgi"]
+
+
+def test_sp_class_b_scalability_improves(benchmark):
+    """Class B: larger problem => better efficiency for every version."""
+    rows_b = benchmark(build_table, "sp", "B", [4, 25], IBM_SP2, 1)
+    rows_a = build_table("sp", "A", [4, 25], IBM_SP2, 1)
+    eff_a = {r.nprocs: r.efficiency["dhpf"] for r in rows_a}
+    eff_b = {r.nprocs: r.efficiency["dhpf"] for r in rows_b}
+    assert eff_b[25] > eff_a[25]
+
+
+def test_sp_class_b_absolute_scale(benchmark):
+    """Class B hand-written 4-proc lands on the paper's scale (2094 s)."""
+    cls = CLASSES["B"]
+    t = benchmark(measure, "sp", "handmpi", 4, cls.shape, 1)
+    full = t * cls.niter_sp
+    assert 1400 < full < 2800  # paper: 2094 s

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""A complete mini-application through the compiler: 3D heat diffusion.
+
+Unlike the quickstart (one loop nest), this is a little *program*: an
+initialization nest, a LOCALIZE'd coefficient computation (the §4.2
+pattern), and a Jacobi update nest that consumes it — compiled once and
+executed for several timesteps on the simulated machine, double-buffer
+style, with the generated pre-nest communication re-executed every step.
+
+Run:  python examples/heat3d_application.py
+"""
+
+import numpy as np
+
+from repro.codegen import compile_kernel
+from repro.frontend import parse_source
+from repro.ir.interp import FortranArray, Interpreter
+
+SOURCE = """
+      subroutine heat_step(n)
+      integer n, i, j, k, onetrip
+      parameter (nx = 11)
+      double precision t(0:nx, 0:nx, 0:nx), tnew(0:nx, 0:nx, 0:nx)
+      double precision cond(0:nx, 0:nx, 0:nx)
+      double precision alpha
+chpf$ processors procs(2, 2)
+chpf$ template g(0:nx, 0:nx)
+chpf$ align t(i, j, k) with g(j, k)
+chpf$ align tnew(i, j, k) with g(j, k)
+chpf$ align cond(i, j, k) with g(j, k)
+chpf$ distribute g(block, block) onto procs
+chpf$ independent, localize(cond)
+      do onetrip = 1, 1
+         do k = 0, n - 1
+            do j = 0, n - 1
+               do i = 0, n - 1
+                  cond(i, j, k) = alpha*(1.0d0 + 0.1d0*t(i, j, k))
+               enddo
+            enddo
+         enddo
+         do k = 1, n - 2
+            do j = 1, n - 2
+               do i = 1, n - 2
+                  tnew(i, j, k) = t(i, j, k) + cond(i, j, k)*(
+     &               t(i-1, j, k) + t(i+1, j, k) + t(i, j-1, k)
+     &               + t(i, j+1, k) + t(i, j, k-1) + t(i, j, k+1)
+     &               - 6.0d0*t(i, j, k))
+               enddo
+            enddo
+         enddo
+      enddo
+      return
+      end
+"""
+
+N = 12
+STEPS = 4
+ALPHA = 0.05
+
+
+def main() -> None:
+    print("=== compile the heat step (LOCALIZE'd conductivity) ===")
+    kernel = compile_kernel(SOURCE, nprocs=4, params={"n": N})
+    for _, plan in kernel.nest_plans:
+        for ev in plan.live_events():
+            print(f"  communication: {ev}")
+    print("  (cond needs no communication — partial replication, §4.2;")
+    print("   only the halo read of t remains, hoisted before the nest)\n")
+
+    rng = np.random.default_rng(5)
+    t0 = rng.random((N, N, N)) * 10.0
+
+    # serial reference: interpret the kernel STEPS times, swapping buffers
+    prog = parse_source(SOURCE)
+    interp = Interpreter(prog, params={"n": N})
+    t_ser = FortranArray((N, N, N), (0, 0, 0))
+    t_ser.data[:] = t0
+    for _ in range(STEPS):
+        tn = FortranArray((N, N, N), (0, 0, 0))
+        tn.data[:] = t_ser.data  # boundaries carry over
+        interp.run("heat_step", args={"t": t_ser, "tnew": tn},
+                   scalars={"n": N, "alpha": ALPHA})
+        t_ser = tn
+
+    # SPMD: persistent per-rank arrays across steps
+    print(f"=== run {STEPS} timesteps on 4 simulated ranks ===")
+    state = {}
+
+    def init(rank_id, arrays):
+        if rank_id not in state:
+            # first step: seed owned t elements only
+            coords = kernel.grid.delinearize(rank_id)
+            for e in kernel.ctx.owned_elements("t", coords):
+                arrays["t"].set(e, t0[e])
+            arrays["tnew"].data[:] = arrays["t"].data
+        else:
+            arrays["t"].data[:] = state[rank_id]["tnew"].data
+            arrays["tnew"].data[:] = state[rank_id]["tnew"].data
+
+    for step in range(STEPS):
+        results = kernel.run({"n": N, "alpha": ALPHA}, init=init)
+        for rank_id, arrays in enumerate(results):
+            state[rank_id] = arrays
+        print(f"  step {step + 1} done")
+
+    print("\n=== verify owned regions against the serial run ===")
+    worst = 0.0
+    for rank_id, arrays in state.items():
+        coords = kernel.grid.delinearize(rank_id)
+        for e in kernel.ctx.owned_elements("tnew", coords):
+            worst = max(worst, abs(arrays["tnew"].get(e) - t_ser.get(e)))
+    print(f"max |spmd - serial| after {STEPS} steps: {worst:.3e}")
+    assert worst < 1e-12
+    print("OK — a multi-nest application, compiled and iterated SPMD.")
+
+
+if __name__ == "__main__":
+    main()

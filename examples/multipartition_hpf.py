@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The paper's closing question, §9: can an HPF compiler exploit
+multipartitioning automatically?
+
+The paper ends: "it would be very interesting to examine whether
+multipartitioning could be automatically exploited by an HPF compiler
+(without requiring the programmer to express it at the source code
+level)" — the obstacle being that the skewed diagonal distribution "is not
+expressible in HPF".
+
+It *is* expressible in dHPF's own integer set framework.  This example
+declares ``DISTRIBUTE u(MULTI, MULTI, MULTI)`` (a dhpf-py extension), shows
+the exists-quantified ownership set, verifies the load-balance invariant
+that makes line sweeps fast — every processor owns exactly one cell in
+every sweep plane — and compiles a kernel over multipartitioned arrays
+with zero messages, all through the unchanged CP/communication machinery.
+
+Run:  python examples/multipartition_hpf.py
+"""
+
+from repro.codegen import compile_kernel
+from repro.distrib import DistributionContext, PDIM
+from repro.frontend import parse_subroutine
+
+SOURCE = """
+      subroutine relax(n)
+      integer n, i, j, k
+      parameter (nx = 11)
+      double precision u(0:nx, 0:nx, 0:nx), v(0:nx, 0:nx, 0:nx)
+chpf$ processors p(2, 2)
+chpf$ distribute u(multi, multi, multi) onto p
+chpf$ distribute v(multi, multi, multi) onto p
+      do k = 0, n - 1
+         do j = 0, n - 1
+            do i = 0, n - 1
+               v(i, j, k) = u(i, j, k) * 0.5d0
+            enddo
+         enddo
+      enddo
+      end
+"""
+
+N, Q, B = 12, 2, 6
+
+
+def main() -> None:
+    ctx = DistributionContext(parse_subroutine(SOURCE), nprocs=4, params={"n": N})
+    lay = ctx.layout("u")
+
+    print("=== the ownership set (§9, made affine with existentials) ===")
+    print(" ", str(lay.ownership())[:200], "...\n")
+
+    print("=== partition + sweep-balance invariants, from the set alone ===")
+    owned = {}
+    for a in range(Q):
+        for b in range(Q):
+            pts = lay.ownership().bind({PDIM(0): a, PDIM(1): b}).points()
+            owned[(a, b)] = pts
+            cells = sorted({(p[0] // B, p[1] // B, p[2] // B) for p in pts})
+            print(f"  processor ({a},{b}): {len(pts):4d} points, cells {cells}")
+    total = sum(len(p) for p in owned.values())
+    assert total == N**3 and len(set().union(*owned.values())) == N**3
+    for dim in range(3):
+        for slab in range(Q):
+            for (a, b), pts in owned.items():
+                in_slab = {p for p in pts if slab * B <= p[dim] < (slab + 1) * B}
+                assert len(in_slab) == B**3, "sweep balance violated"
+    print("  every processor owns exactly one cell in every sweep plane ✓\n")
+
+    print("=== compile a kernel over multipartitioned arrays ===")
+    kernel = compile_kernel(SOURCE, nprocs=4, params={"n": N})
+    msgs = sum(len(r.pairs) for routes in kernel._routes for r in routes)
+    print(f"  messages required: {msgs}")
+    assert msgs == 0
+    results = kernel.run({"n": N}, init=lambda rid, A: A["u"].data.fill(4.0))
+    ok = all(
+        A["v"].get(e) == 2.0
+        for rid, A in enumerate(results)
+        for e in kernel.ctx.owned_elements("v", kernel.grid.delinearize(rid))
+    )
+    print(f"  SPMD execution correct on all owned elements: {ok}")
+    assert ok
+    print("\nOK — multipartitioning consumed by the standard compiler pipeline,")
+    print("with no source-level expression of the skewed distribution.")
+
+
+if __name__ == "__main__":
+    main()

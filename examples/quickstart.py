@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a small HPF kernel end-to-end and run it SPMD.
+
+This walks the whole dhpf-py pipeline on a 2D Jacobi-flavored stencil:
+
+1. parse mini-Fortran + HPF directives,
+2. build data layouts (BLOCK x BLOCK over a 2x2 grid),
+3. select computation partitions and analyze communication,
+4. emit an executable Python SPMD node program,
+5. run it on the simulated 4-processor machine and check against the
+   serial interpreter.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.codegen import compile_kernel
+from repro.frontend import parse_source
+from repro.ir.interp import Interpreter
+
+SOURCE = """
+      subroutine smooth(n)
+      integer n, i, j
+      parameter (nx = 15)
+      double precision a(0:nx, 0:nx), b(0:nx, 0:nx)
+chpf$ processors procs(2, 2)
+chpf$ template t(0:nx, 0:nx)
+chpf$ align a(i, j) with t(i, j)
+chpf$ align b(i, j) with t(i, j)
+chpf$ distribute t(block, block) onto procs
+      do i = 1, n - 2
+         do j = 1, n - 2
+            b(i, j) = 0.25d0 * (a(i-1, j) + a(i+1, j)
+     &         + a(i, j-1) + a(i, j+1))
+         enddo
+      enddo
+      end
+"""
+
+
+def main() -> None:
+    n = 16
+    print("=== 1. compile ===")
+    kernel = compile_kernel(SOURCE, nprocs=4, params={"n": n})
+    print(f"grid: {kernel.grid.shape}")
+    for _, plan in kernel.nest_plans:
+        for ev in plan.live_events():
+            print(f"communication: {ev} volume/rank varies by position")
+
+    print("\n=== 2. generated node program (excerpt) ===")
+    src = kernel.python_source()
+    print("\n".join(src.splitlines()[:14]))
+    print("   ...")
+
+    print("\n=== 3. run on the 4-processor virtual machine ===")
+    rng = np.random.default_rng(1)
+    a0 = rng.random((16, 16))
+
+    def init(rank_id, arrays):
+        # seed only OWNED elements of a — ghost values must be communicated
+        coords = kernel.grid.delinearize(rank_id)
+        for e in kernel.ctx.owned_elements("a", coords):
+            arrays["a"].set(e, a0[e])
+
+    results = kernel.run({"n": n}, init=init)
+
+    print("=== 4. verify against the serial interpreter ===")
+    prog = parse_source(SOURCE)
+    from repro.ir.interp import FortranArray
+
+    a_ser = FortranArray((16, 16), (0, 0))
+    a_ser.data[:] = a0
+    b_ser = FortranArray((16, 16), (0, 0))
+    Interpreter(prog, params={"n": n}).run(
+        "smooth", args={"a": a_ser, "b": b_ser}, scalars={"n": n}
+    )
+
+    worst = 0.0
+    for rank_id, arrays in enumerate(results):
+        coords = kernel.grid.delinearize(rank_id)
+        for e in kernel.ctx.owned_elements("b", coords):
+            worst = max(worst, abs(arrays["b"].get(e) - b_ser.get(e)))
+    print(f"max |spmd - serial| over owned elements: {worst:.3e}")
+    assert worst < 1e-13
+    print("OK — the compiled SPMD program reproduces the serial semantics.")
+
+
+if __name__ == "__main__":
+    main()

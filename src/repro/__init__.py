@@ -1,0 +1,25 @@
+"""dhpf-py: a reproduction of the Rice dHPF HPF compilation techniques.
+
+Reproduces Adve, Jin, Mellor-Crummey & Yi, *High Performance Fortran
+Compilation Techniques for Parallelizing Scientific Codes* (SC 1998):
+the computation-partitioning optimizations (paper sections 4-6), data
+availability analysis (section 7), and the NAS SP/BT evaluation
+(section 8), on a from-scratch compiler substrate with a simulated
+message-passing machine.
+
+Most-used entry points::
+
+    from repro.codegen import compile_kernel       # the whole pipeline
+    from repro.frontend import parse_source        # mini-Fortran + HPF
+    from repro.parallel import run_parallel        # section-8 strategy runs
+    from repro.eval import table_8_1, table_8_2    # the paper's tables
+
+Command line::
+
+    python -m repro compile kernel.f --nprocs 4 --param n=64 --emit
+    python -m repro.eval table-8.1 | figure-8.2 | ablations | diffstats
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,118 @@
+"""Reduction recognition — one of dHPF's core optimizations (§2 lists it
+alongside communication vectorization and overlap areas).
+
+A statement ``s = s ⊕ e`` (⊕ associative-commutative: +, *, min, max)
+whose accumulator is not otherwise read or written in the loop is a
+reduction: each processor accumulates a private partial over its share of
+the iterations and a combining step (allreduce) merges them.  dHPF uses
+this to parallelize loops that a pure dependence test would serialize
+(the carried flow dependence on the accumulator is benign).
+
+:func:`find_reductions` performs the recognition;
+:func:`parallel_iterations_with_reductions` answers "is this loop parallel
+once recognized reductions are accounted for?" — the NAS error-norm and
+rhs-norm loops are the motivating cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..ir.expr import ArrayRef, BinOp, Expr, FuncCall, Var
+from ..ir.stmt import Assign, DoLoop
+from ..ir.visit import reads_of, walk_stmts
+from .dependence import DependenceAnalyzer
+
+#: associative-commutative operators we recognize
+_AC_BINOPS = {"+", "*"}
+_AC_FUNCS = {"min", "max", "dmin1", "dmax1"}
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """One recognized reduction statement."""
+
+    stmt: Assign
+    var: str
+    op: str  # '+', '*', 'min', 'max'
+
+    def __repr__(self) -> str:
+        return f"<Reduction {self.var} {self.op}= ... at s{self.stmt.sid}>"
+
+
+def _match_reduction_rhs(lhs_name: str, rhs: Expr) -> Optional[str]:
+    """Does ``rhs`` have the shape ``lhs ⊕ e`` (or ``e ⊕ lhs``)?
+
+    The accumulator must appear exactly once at the top of the ⊕ spine.
+    """
+    def mentions(e: Expr) -> int:
+        return sum(
+            1 for n in e.walk() if isinstance(n, Var) and n.name.lower() == lhs_name
+        )
+
+    if isinstance(rhs, BinOp) and rhs.op in _AC_BINOPS:
+        # allow a left-leaning spine of the same operator: ((s + a) + b)
+        spine_op = rhs.op
+        node = rhs
+        while isinstance(node, BinOp) and node.op == spine_op:
+            if mentions(node.right):
+                return None  # accumulator buried on the right
+            node = node.left
+        if isinstance(node, Var) and node.name.lower() == lhs_name:
+            if mentions(rhs) == 1:
+                return spine_op
+        return None
+    if isinstance(rhs, FuncCall) and rhs.name.lower() in _AC_FUNCS:
+        hits = [a for a in rhs.args if isinstance(a, Var) and a.name.lower() == lhs_name]
+        if len(hits) == 1 and mentions(rhs) == 1:
+            return "min" if "min" in rhs.name.lower() else "max"
+    return None
+
+
+def find_reductions(loop: DoLoop) -> list[Reduction]:
+    """Recognize reduction statements in a loop nest.
+
+    Requirements: scalar accumulator; rhs of the matching shape; the
+    accumulator read/written nowhere else in the loop.
+    """
+    assigns = [s for s in walk_stmts([loop]) if isinstance(s, Assign)]
+    out: list[Reduction] = []
+    for stmt in assigns:
+        if not isinstance(stmt.lhs, Var):
+            continue
+        name = stmt.lhs.name.lower()
+        op = _match_reduction_rhs(name, stmt.rhs)
+        if op is None:
+            continue
+        clean = True
+        for other in assigns:
+            if other is stmt:
+                continue
+            if other.target_name.lower() == name:
+                clean = False
+                break
+            if any(
+                isinstance(r, Var) and r.name.lower() == name for r in reads_of(other)
+            ):
+                clean = False
+                break
+        if clean:
+            out.append(Reduction(stmt, name, op))
+    return out
+
+
+def parallel_with_reductions(
+    loop: DoLoop, params: Mapping[str, int] | None = None
+) -> tuple[bool, list[Reduction]]:
+    """Is the loop's outermost level parallel once reductions are handled?
+
+    Returns (parallel?, recognized reductions).  The dependence test runs
+    with the accumulator variables excluded; any remaining level-1
+    dependence means genuinely serial.
+    """
+    reds = find_reductions(loop)
+    ignore = [r.var for r in reds]
+    deps = DependenceAnalyzer(loop, params, ignore_vars=ignore).dependences()
+    parallel = not any(d.level == 1 for d in deps)
+    return parallel, reds

@@ -1,0 +1,21 @@
+"""SPMD code generation: HPF kernel + CPs + comm plan → Python node program.
+
+:func:`compile_kernel` drives the whole dHPF pipeline on one program unit —
+CP selection, NEW/LOCALIZE propagation, communication-sensitive grouping,
+communication analysis with availability filtering — and emits an
+*executable Python node program* (real generated source, ``exec``'d) that
+runs on the :class:`~repro.runtime.VirtualMachine`:
+
+- per-statement iteration guards realized from the CP iteration sets,
+- pre-nest (vectorized, coalesced) read communication and post-nest
+  write-backs realized by enumerating the symbolic non-local sets per
+  rank pair.
+
+Pipelined (loop-carried) communication is not code-generated — the paper's
+optimizations exist precisely to remove inner-loop communication from these
+kernels; wavefront execution is exercised by :mod:`repro.parallel.dhpf`.
+"""
+
+from .spmd import CompiledKernel, CodegenUnsupported, compile_kernel
+
+__all__ = ["CompiledKernel", "CodegenUnsupported", "compile_kernel"]

@@ -1,0 +1,68 @@
+"""Expression/statement → Python source emission for generated node code."""
+
+from __future__ import annotations
+
+from ..ir.expr import ArrayRef, BinOp, Expr, FuncCall, Num, StrLit, UnOp, Var
+
+_PYFUNC = {
+    "sqrt": "K.m.sqrt", "dsqrt": "K.m.sqrt",
+    "abs": "abs", "dabs": "abs",
+    "exp": "K.m.exp", "dexp": "K.m.exp",
+    "log": "K.m.log", "dlog": "K.m.log",
+    "sin": "K.m.sin", "cos": "K.m.cos", "tan": "K.m.tan", "atan": "K.m.atan",
+    "min": "min", "dmin1": "min",
+    "max": "max", "dmax1": "max",
+    "mod": "K.fmod", "int": "int", "nint": "K.nint",
+    "dble": "float", "real": "float", "float": "float",
+    "sign": "K.fsign",
+}
+
+_BINOP = {
+    "+": "+", "-": "-", "*": "*", "/": "/", "**": "**",
+    "==": "==", "/=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    ".and.": "and", ".or.": "or",
+}
+
+
+def emit_expr(e: Expr, locals_: set[str]) -> str:
+    """Python source for an expression.
+
+    Loop variables (``locals_``) become plain Python names; other scalars
+    read from the ``S`` dict; arrays from the ``A`` dict.
+    """
+    if isinstance(e, Num):
+        return repr(e.value)
+    if isinstance(e, StrLit):
+        return repr(e.value)
+    if isinstance(e, Var):
+        n = e.name.lower()
+        return n if n in locals_ else f"S[{n!r}]"
+    if isinstance(e, UnOp):
+        if e.op == "-":
+            return f"(-{emit_expr(e.operand, locals_)})"
+        return f"(not {emit_expr(e.operand, locals_)})"
+    if isinstance(e, BinOp):
+        op = _BINOP.get(e.op)
+        if op is None:
+            raise ValueError(f"cannot emit operator {e.op!r}")
+        if e.op == "/":
+            return f"K.fdiv({emit_expr(e.left, locals_)}, {emit_expr(e.right, locals_)})"
+        return f"({emit_expr(e.left, locals_)} {op} {emit_expr(e.right, locals_)})"
+    if isinstance(e, ArrayRef):
+        subs = ", ".join(emit_expr(s, locals_) for s in e.subscripts)
+        return f"A[{e.name.lower()!r}].get(({subs},))"
+    if isinstance(e, FuncCall):
+        fn = _PYFUNC.get(e.name.lower())
+        if fn is None:
+            raise ValueError(f"cannot emit call to {e.name!r}")
+        args = ", ".join(emit_expr(a, locals_) for a in e.args)
+        return f"{fn}({args})"
+    raise ValueError(f"cannot emit {type(e).__name__}")
+
+
+def emit_assign_target(lhs, rhs_src: str, locals_: set[str]) -> str:
+    """Python source for an assignment to an array element or scalar."""
+    if isinstance(lhs, ArrayRef):
+        subs = ", ".join(emit_expr(s, locals_) for s in lhs.subscripts)
+        return f"A[{lhs.name.lower()!r}].set(({subs},), {rhs_src})"
+    return f"S[{lhs.name.lower()!r}] = {rhs_src}"

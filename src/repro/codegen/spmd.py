@@ -1,0 +1,451 @@
+"""The SPMD compiler driver and the generated-code runtime library."""
+
+from __future__ import annotations
+
+import math as _math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+import numpy as np
+
+from ..analysis.dependence import DependenceAnalyzer
+from ..comm import CommAnalyzer, CommPlan
+from ..cp.loopdist import CPGrouper
+from ..cp.localize import propagate_localize_cps
+from ..cp.model import CP, cp_iteration_set
+from ..cp.nest import NestInfo
+from ..cp.privatizable import propagate_new_cps
+from ..cp.select import CPSelector, StatementCP
+from ..distrib.layout import DistributionContext, PDIM
+from ..frontend import parse_source
+from ..ir.expr import ArrayRef, Var
+from ..ir.interp import FortranArray, _INTRINSICS
+from ..ir.program import Subroutine
+from ..ir.stmt import Assign, CallStmt, Continue, DoLoop, IfThen, Return, Stmt
+from ..ir.visit import walk_stmts
+from ..runtime.sim import Rank, VirtualMachine
+from .pyemit import emit_assign_target, emit_expr
+
+
+class CodegenUnsupported(Exception):
+    """The kernel needs a feature the code generator does not implement
+    (pipelined communication, CALL statements)."""
+
+
+# ---------------------------------------------------------------------------
+# compile driver
+# ---------------------------------------------------------------------------
+
+def compile_kernel(
+    source_or_sub: "str | Subroutine",
+    nprocs: int,
+    params: Mapping[str, int] | None = None,
+) -> "CompiledKernel":
+    """Run the full dHPF pipeline on a single program unit and build the
+    executable SPMD kernel."""
+    if isinstance(source_or_sub, str):
+        prog = parse_source(source_or_sub)
+        if len(prog.units) != 1:
+            raise CodegenUnsupported(
+                "compile_kernel takes a single unit; interprocedural kernels "
+                "are analyzed by repro.cp.interproc"
+            )
+        sub = next(iter(prog.units.values()))
+    else:
+        sub = source_or_sub
+    params = dict(params or {})
+    ctx = DistributionContext(sub, nprocs, params)
+    merged = {**sub.symbols.parameter_values(), **params}
+
+    for s in walk_stmts(sub.body):
+        if isinstance(s, CallStmt):
+            raise CodegenUnsupported("CALL statements are not code-generated")
+
+    cps_all: dict[int, StatementCP] = {}
+    nest_plans: list[tuple[DoLoop, CommPlan]] = []
+    private_arrays: set[str] = set()
+    sel = CPSelector(ctx, eval_params=merged)
+    grouper = CPGrouper(ctx, sel)
+    for item in sub.body:
+        if not isinstance(item, DoLoop):
+            continue
+        cps = sel.select(item, merged)
+        # NEW anywhere in this nest: propagate across the whole nest (the
+        # paper's privatization scope is the enclosing parallel loop; uses
+        # live in sibling loops of the definition)
+        new_vars: list[str] = []
+        for loop in walk_stmts([item]):
+            if isinstance(loop, DoLoop) and loop.directive:
+                new_vars.extend(loop.directive.new_vars)
+        if new_vars:
+            private_arrays |= {v.lower() for v in new_vars}
+            propagate_new_cps(item, new_vars, cps, NestInfo(item, merged), ctx)
+        # LOCALIZE scope
+        if item.directive and item.directive.localize_vars:
+            propagate_localize_cps(item, item.directive.localize_vars, cps, ctx, merged)
+        # communication-sensitive grouping for the remaining local choices
+        res = grouper.group(item, cps=cps, params=merged)
+        cps = res.cps
+        no_comm: set[str] = set()
+        for loop in walk_stmts([item]):
+            if isinstance(loop, DoLoop) and loop.directive:
+                no_comm |= {v.lower() for v in loop.directive.new_vars}
+                no_comm |= {v.lower() for v in loop.directive.localize_vars}
+        plan = CommAnalyzer(item, cps, ctx, merged, exclude_arrays=no_comm).analyze()
+        for ev in plan.live_events():
+            if ev.placement.pipelined:
+                raise CodegenUnsupported(
+                    f"pipelined communication for array {ev.array!r} "
+                    "(wavefront kernels are executed by repro.parallel.dhpf)"
+                )
+        cps_all.update(cps)
+        nest_plans.append((item, plan))
+    return CompiledKernel(
+        sub, ctx, merged, cps_all, nest_plans, nprocs, private_arrays
+    )
+
+
+# ---------------------------------------------------------------------------
+# compiled kernel
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Route:
+    """Concrete element routing for one hoisted communication event."""
+
+    array: str
+    kind: str  # 'read' | 'writeback'
+    #: (src_rank, dst_rank) -> ordered element list
+    pairs: dict[tuple[int, int], list[tuple[int, ...]]]
+    tag: int
+
+
+class CompiledKernel:
+    """An executable SPMD kernel produced by :func:`compile_kernel`."""
+
+    # math namespace for generated code
+    class m:
+        sqrt = staticmethod(_math.sqrt)
+        exp = staticmethod(_math.exp)
+        log = staticmethod(_math.log)
+        sin = staticmethod(_math.sin)
+        cos = staticmethod(_math.cos)
+        tan = staticmethod(_math.tan)
+        atan = staticmethod(_math.atan)
+
+    def __init__(
+        self,
+        sub: Subroutine,
+        ctx: DistributionContext,
+        params: dict[str, int],
+        cps: dict[int, StatementCP],
+        nest_plans: list[tuple[DoLoop, CommPlan]],
+        nprocs: int,
+        private_arrays: "set[str] | None" = None,
+    ):
+        self.sub = sub
+        self.ctx = ctx
+        self.params = params
+        self.cps = cps
+        self.nest_plans = nest_plans
+        self.nprocs = nprocs
+        #: NEW (privatizable) arrays: per-rank private in the shmem target
+        self.private_arrays = set(private_arrays or ())
+        self.grid = ctx.the_grid()
+        if self.grid.size != nprocs:
+            raise ValueError(f"grid size {self.grid.size} != nprocs {nprocs}")
+        self._routes: list[list[_Route]] = [
+            self._build_routes(i, plan) for i, (_, plan) in enumerate(nest_plans)
+        ]
+        self._guard_cache: dict[int, dict[int, Optional[frozenset]]] = {}
+        self._sources: dict[str, str] = {}
+        self._fns: dict[str, Callable] = {}
+
+    # -- helpers exposed to generated code (the `K` object) -----------------------
+    @staticmethod
+    def fdiv(a, b):
+        if isinstance(a, int) and isinstance(b, int):
+            q = a // b
+            if q < 0 and q * b != a:
+                q += 1
+            return q
+        return a / b
+
+    @staticmethod
+    def fmod(a, b):
+        return a - b * int(a / b) if isinstance(a, int) else a % b
+
+    @staticmethod
+    def nint(x):
+        return int(round(x))
+
+    @staticmethod
+    def fsign(a, b):
+        return abs(a) if b >= 0 else -abs(a)
+
+    @staticmethod
+    def do_range(lo, hi, step=1):
+        return range(int(lo), int(hi) + (1 if step > 0 else -1), int(step))
+
+    @staticmethod
+    def guard(G: dict, sid: int, point: tuple) -> bool:
+        s = G.get(sid)
+        return True if s is None else point in s
+
+    # -- guards ---------------------------------------------------------------
+    def bind_guards(self, rank_id: int) -> dict[int, Optional[frozenset]]:
+        """Per-statement concrete iteration sets for one rank (cached)."""
+        if rank_id in self._guard_cache:
+            return self._guard_cache[rank_id]
+        coords = self.grid.delinearize(rank_id)
+        pbind = {PDIM(g): c for g, c in enumerate(coords)}
+        out: dict[int, Optional[frozenset]] = {}
+        for root, _plan in self.nest_plans:
+            nest = NestInfo(root, self.params)
+            for stmt in walk_stmts([root]):
+                if not isinstance(stmt, Assign):
+                    continue
+                scp = self.cps.get(stmt.sid)
+                if scp is None or scp.cp.is_replicated:
+                    out[stmt.sid] = None
+                    continue
+                dims = nest.dims_of(stmt)
+                bounds = nest.bounds_of(stmt)
+                if bounds is None:
+                    out[stmt.sid] = None
+                    continue
+                iters = cp_iteration_set(
+                    scp.cp, dims, bounds.bind(self.params), self.ctx
+                ).bind({**self.params, **pbind})
+                out[stmt.sid] = frozenset(iters.points())
+        self._guard_cache[rank_id] = out
+        return out
+
+    # -- communication routing -----------------------------------------------------
+    def _build_routes(self, nest_idx: int, plan: CommPlan) -> list[_Route]:
+        routes: list[_Route] = []
+        for ei, ev in enumerate(plan.live_events()):
+            if not ev.placement.hoisted:
+                continue  # guarded at compile time already
+            layout = self.ctx.layout(ev.array)
+            assert layout is not None
+            pairs: dict[tuple[int, int], list[tuple[int, ...]]] = {}
+            for rank_id in range(self.nprocs):
+                coords = self.grid.delinearize(rank_id)
+                pbind = {PDIM(g): c for g, c in enumerate(coords)}
+                pts = sorted(ev.data.bind({**self.params, **pbind}).points())
+                for elem in pts:
+                    owner = self.grid.linearize(layout.owner_coords_of(elem))
+                    if owner == rank_id:
+                        continue
+                    if ev.kind == "read":
+                        pairs.setdefault((owner, rank_id), []).append(elem)
+                    else:  # writeback: the computing rank returns data to the owner
+                        pairs.setdefault((rank_id, owner), []).append(elem)
+            routes.append(_Route(ev.array, ev.kind, pairs, 1000 + nest_idx * 64 + ei))
+        return routes
+
+    def exec_comm(self, rank: Rank, A: Mapping[str, FortranArray], nest_idx: int, kind: str) -> None:
+        """Execute the hoisted communication of one nest (generated code
+        calls this before ['read'] and after ['writeback'] the nest)."""
+        me = rank.rank
+        for route in self._routes[nest_idx]:
+            if route.kind != kind:
+                continue
+            arr = A[route.array]
+            for (src, dst), elems in route.pairs.items():
+                if src == me:
+                    buf = np.array([arr.get(e) for e in elems], dtype=np.float64)
+                    rank.send(dst, buf, tag=route.tag)
+            for (src, dst), elems in route.pairs.items():
+                if dst == me:
+                    buf = rank.recv(src, tag=route.tag)
+                    for e, v in zip(elems, buf):
+                        arr.set(e, v)
+
+    # -- code generation -----------------------------------------------------------
+    def python_source(self, target: str = "mpi") -> str:
+        """The generated node program (real, exec-able Python).
+
+        ``target`` selects dHPF's two back ends (§2: "node programs ...
+        that use either MPI message-passing primitives or shared-memory
+        communication"): ``"mpi"`` realizes the hoisted communication
+        events as messages; ``"shmem"`` shares one address space across
+        ranks and replaces each communication point with a barrier (data
+        written by the owner is directly visible after synchronization).
+        """
+        if target not in ("mpi", "shmem"):
+            raise ValueError(f"unknown codegen target {target!r}")
+        if target in self._sources:
+            return self._sources[target]
+        self._loop_order = self._collect_loop_order()
+        lines: list[str] = [
+            f"# SPMD node program generated by dhpf-py for {self.sub.name}",
+            f"# target {target}, grid {self.grid.shape}, params {self.params}",
+            "def node_program(rank, A, S, K):",
+            "    G = K.bind_guards(rank.rank)",
+        ]
+        nest_idx = 0
+        for item in self.sub.body:
+            if isinstance(item, DoLoop):
+                if target == "mpi":
+                    lines.append(f"    K.exec_comm(rank, A, {nest_idx}, 'read')")
+                else:
+                    lines.append(f"    rank.barrier(tag={6000 + nest_idx})")
+                self._emit_stmt(item, lines, indent=1, locals_=set())
+                if target == "mpi":
+                    lines.append(f"    K.exec_comm(rank, A, {nest_idx}, 'writeback')")
+                else:
+                    lines.append(f"    rank.barrier(tag={6100 + nest_idx})")
+                nest_idx += 1
+            else:
+                self._emit_stmt(item, lines, indent=1, locals_=set())
+        lines.append("    return A")
+        self._sources[target] = "\n".join(lines) + "\n"
+        return self._sources[target]
+
+    def _emit_stmt(self, s: Stmt, lines: list[str], indent: int, locals_: set[str]) -> None:
+        pad = "    " * indent
+        if isinstance(s, Assign):
+            rhs = emit_expr(s.rhs, locals_)
+            target = emit_assign_target(s.lhs, rhs, locals_)
+            scp = self.cps.get(s.sid)
+            if scp is not None and not scp.cp.is_replicated and locals_:
+                point = ", ".join(sorted_locals(locals_, self._loop_order))
+                lines.append(f"{pad}if K.guard(G, {s.sid}, ({point},)):")
+                lines.append(f"{pad}    {target}")
+            else:
+                lines.append(f"{pad}{target}")
+            return
+        if isinstance(s, DoLoop):
+            lo = emit_expr(s.lo, locals_)
+            hi = emit_expr(s.hi, locals_)
+            step = emit_expr(s.step, locals_)
+            lines.append(f"{pad}for {s.var} in K.do_range({lo}, {hi}, {step}):")
+            inner = set(locals_) | {s.var}
+            if not s.body:
+                lines.append(f"{pad}    pass")
+            for c in s.body:
+                self._emit_stmt(c, lines, indent + 1, inner)
+            return
+        if isinstance(s, IfThen):
+            lines.append(f"{pad}if {emit_expr(s.cond, locals_)}:")
+            if not s.then_body:
+                lines.append(f"{pad}    pass")
+            for c in s.then_body:
+                self._emit_stmt(c, lines, indent + 1, locals_)
+            if s.else_body:
+                lines.append(f"{pad}else:")
+                for c in s.else_body:
+                    self._emit_stmt(c, lines, indent + 1, locals_)
+            return
+        if isinstance(s, (Continue, Return)):
+            lines.append(f"{pad}pass")
+            return
+        raise CodegenUnsupported(f"cannot emit {type(s).__name__}")
+
+    _loop_order: list[str]
+
+    # -- execution ------------------------------------------------------------------
+    def node_program(self, target: str = "mpi") -> Callable:
+        """Compile (exec) the generated source for one back end."""
+        if target not in self._fns:
+            src = self.python_source(target)
+            ns: dict[str, Any] = {}
+            exec(compile(src, f"<dhpf:{self.sub.name}:{target}>", "exec"), ns)
+            self._fns[target] = ns["node_program"]
+        return self._fns[target]
+
+    def _collect_loop_order(self) -> list[str]:
+        order: list[str] = []
+        for s in walk_stmts(self.sub.body):
+            if isinstance(s, DoLoop) and s.var not in order:
+                order.append(s.var)
+        return order
+
+    def make_arrays(self) -> dict[str, FortranArray]:
+        """Fresh full-shape arrays for one rank (valid only where owned or
+        received — the compiler's 'overlap everything' simplification)."""
+        out: dict[str, FortranArray] = {}
+        for decl in self.sub.symbols.all():
+            if decl.is_array:
+                out[decl.name.lower()] = FortranArray.from_decl(decl, self.params)
+        return out
+
+    def run(
+        self,
+        scalars: Mapping[str, Any],
+        init: Callable[[int, dict[str, FortranArray]], None] | None = None,
+        vm: VirtualMachine | None = None,
+    ) -> list[dict[str, FortranArray]]:
+        """Execute on all ranks of a VirtualMachine; returns per-rank arrays.
+
+        ``init(rank_id, arrays)`` seeds input data (every rank must seed at
+        least its owned elements; seeding everything replicates the serial
+        initial state, which is the common test setup).
+        """
+        fn = self.node_program()
+        vm = vm or VirtualMachine(self.nprocs, record_trace=False)
+        kernel = self
+
+        def node(rank: Rank):
+            A = kernel.make_arrays()
+            if init is not None:
+                init(rank.rank, A)
+            S = dict(scalars)
+            for k, v in kernel.params.items():
+                S.setdefault(k, v)
+            fn(rank, A, S, kernel)
+            return A
+
+        return vm.run(node)
+
+    def run_shmem(
+        self,
+        scalars: Mapping[str, Any],
+        init: Callable[[dict[str, FortranArray]], None] | None = None,
+        vm: VirtualMachine | None = None,
+    ) -> dict[str, FortranArray]:
+        """Execute the shared-memory back end: one shared array set, ranks
+        as threads, barriers at the points where the MPI target would
+        communicate.  Returns the shared arrays.
+
+        ``init(arrays)`` seeds the single shared address space.  Safe by
+        construction: within a nest the CP guards make cross-rank writes
+        disjoint (partial replication writes identical values), and the
+        generated barriers order producer nests before consumer nests.
+        """
+        from ..runtime.model import MachineModel
+
+        fn = self.node_program("shmem")
+        if vm is None:
+            # SMP-flavored model: sync via very-low-latency "messages"
+            smp = MachineModel("smp", flop_time=1e-9, alpha=2e-6, beta=1 / 300e6)
+            vm = VirtualMachine(self.nprocs, smp, record_trace=False)
+        shared = self.make_arrays()
+        if init is not None:
+            init(shared)
+        kernel = self
+
+        def node(rank: Rank):
+            # privatizable (NEW) temporaries get per-rank storage — their
+            # HPF semantics; everything else is the shared address space
+            A = dict(shared)
+            for name in kernel.private_arrays:
+                if name in A:
+                    A[name] = FortranArray.from_decl(
+                        kernel.sub.symbols.require(name), kernel.params
+                    )
+            S = dict(scalars)
+            for k, v in kernel.params.items():
+                S.setdefault(k, v)
+            fn(rank, A, S, kernel)
+            return None
+
+        vm.run(node)
+        return shared
+
+
+def sorted_locals(locals_: set[str], order: list[str]) -> list[str]:
+    """Loop variables in nesting order (guard tuple layout)."""
+    return [v for v in order if v in locals_]

@@ -1,0 +1,28 @@
+"""HPF data distribution machinery.
+
+Turns HPF directive IR (PROCESSORS / TEMPLATE / ALIGN / DISTRIBUTE) into
+*ownership sets*: for each distributed array, the symbolic integer set of
+elements owned by the representative processor with coordinates
+``(p$0, p$1, ...)``.  These sets are the foundation of computation
+partitioning and communication analysis.
+
+Also implements the *diagonal multipartitioning* of the hand-written NAS
+SP/BT MPI codes (Naik, IBM Sys. J. 1995) — not expressible in HPF (the paper
+makes this point), used by the hand-coded baseline in the evaluation.
+"""
+
+from .grid import ProcessorGrid
+from .layout import Template, Distribution, Layout, DistributionContext, PDIM
+from .multipart import MultiPartition3D
+from .multilayout import MultiPartitionLayout
+
+__all__ = [
+    "ProcessorGrid",
+    "Template",
+    "Distribution",
+    "Layout",
+    "DistributionContext",
+    "MultiPartition3D",
+    "MultiPartitionLayout",
+    "PDIM",
+]

@@ -1,0 +1,77 @@
+"""Processor grids (HPF PROCESSORS arrangements)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+
+class ProcessorGrid:
+    """A concrete Cartesian processor arrangement.
+
+    dHPF compiled the processor grid organization into the generated program
+    (the paper notes this explicitly), so grids are concrete at compile time.
+    Ranks are linearized row-major (last dim fastest), matching the layout
+    the NAS MPI codes use.
+    """
+
+    def __init__(self, name: str, shape: Sequence[int]):
+        if not shape or any(s <= 0 for s in shape):
+            raise ValueError(f"invalid grid shape {shape}")
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def linearize(self, coords: Sequence[int]) -> int:
+        if len(coords) != self.rank:
+            raise ValueError(f"coords {coords} do not match grid rank {self.rank}")
+        r = 0
+        for c, s in zip(coords, self.shape):
+            if not (0 <= c < s):
+                raise ValueError(f"coordinate {coords} out of grid {self.shape}")
+            r = r * s + c
+        return r
+
+    def delinearize(self, rank: int) -> tuple[int, ...]:
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} out of range for grid of size {self.size}")
+        coords = []
+        for s in reversed(self.shape):
+            coords.append(rank % s)
+            rank //= s
+        return tuple(reversed(coords))
+
+    def all_coords(self) -> Iterator[tuple[int, ...]]:
+        for r in range(self.size):
+            yield self.delinearize(r)
+
+    @staticmethod
+    def square_2d(name: str, nprocs: int) -> "ProcessorGrid":
+        """A near-square 2D factorization of nprocs (used for BLOCK,BLOCK)."""
+        best = (1, nprocs)
+        for a in range(1, int(nprocs**0.5) + 1):
+            if nprocs % a == 0:
+                best = (a, nprocs // a)
+        return ProcessorGrid(name, (best[0], best[1]))
+
+    def __repr__(self) -> str:
+        return f"ProcessorGrid({self.name!r}, {self.shape})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ProcessorGrid)
+            and self.name == other.name
+            and self.shape == other.shape
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.shape))

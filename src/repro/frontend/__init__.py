@@ -1,0 +1,24 @@
+"""Mini-Fortran-77 + HPF frontend.
+
+Parses the Fortran subset the NAS kernels are written in — SUBROUTINE /
+PROGRAM units, declarations (type statements, DIMENSION, PARAMETER, COMMON),
+DO / IF / assignments / CALL — plus HPF directive lines (``CHPF$``,
+``!HPF$``, ``C$HPF``): PROCESSORS, TEMPLATE, ALIGN, DISTRIBUTE, INDEPENDENT
+with NEW, and the dHPF extensions LOCALIZE and ON_HOME.
+
+Entry points: :func:`parse_source` (a whole file) and
+:func:`parse_subroutine` (convenience for single-unit strings).
+"""
+
+from .lexer import Lexer, Token, TokenKind, LexError
+from .parser import ParseError, parse_source, parse_subroutine
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "LexError",
+    "ParseError",
+    "parse_source",
+    "parse_subroutine",
+]

@@ -1,0 +1,204 @@
+"""Line-oriented lexer for the mini-Fortran + HPF subset.
+
+Fortran is line-structured, so the lexer produces a list of *logical lines*
+(continuations joined), each a list of tokens.  Directive lines (``CHPF$``,
+``!HPF$``, ``C$HPF``, ``*HPF$``) are tagged so the parser can route them to
+the directive grammar.  Everything is case-insensitive; identifiers are
+lowercased, keywords are recognized by the parser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List
+
+
+class LexError(Exception):
+    """Raised with file position on any unrecognized input."""
+
+
+class TokenKind(Enum):
+    """Token categories produced by the lexer."""
+
+    NAME = "name"
+    INT = "int"
+    REAL = "real"
+    STRING = "string"
+    OP = "op"
+    EOL = "eol"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: object = None
+    lineno: int = 0
+    col: int = 0
+
+    def __repr__(self) -> str:
+        return f"{self.kind.name}({self.text!r})"
+
+
+@dataclass
+class LogicalLine:
+    """One logical source line: its tokens and whether it is a directive."""
+
+    tokens: List[Token]
+    lineno: int
+    is_directive: bool = False
+
+
+_DIRECTIVE_RE = re.compile(r"^\s*(chpf\$|!hpf\$|c\$hpf\$?|\*hpf\$|!dhpf\$|chpf)\s*", re.IGNORECASE)
+_COMMENT_LINE_RE = re.compile(r"^[cC*](\s|$)")
+
+# multi-char operators first
+_OPERATORS = [
+    "::", "**", "==", "/=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/",
+    "(", ")", ",", ":", "%",
+]
+_DOT_OPS = {
+    ".lt.": "<", ".le.": "<=", ".gt.": ">", ".ge.": ">=",
+    ".eq.": "==", ".ne.": "/=", ".and.": ".and.", ".or.": ".or.",
+    ".not.": ".not.", ".true.": ".true.", ".false.": ".false.",
+}
+
+_NUM_RE = re.compile(
+    r"""
+    (?P<real>
+        (?:\d+\.\d*|\.\d+|\d+)      # mantissa (incl. bare int before d/e exp)
+        (?:[deDE][+-]?\d+)          # exponent required for bare-int reals
+      | (?:\d+\.\d*|\.\d+)          # or a decimal point with no exponent
+        (?:[deDE][+-]?\d+)?
+    )
+    | (?P<int>\d+)
+    """,
+    re.VERBOSE,
+)
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+class Lexer:
+    """Tokenize full source text into logical lines."""
+
+    def __init__(self, source: str):
+        self.source = source
+
+    def logical_lines(self) -> List[LogicalLine]:
+        # 1. strip comments, detect directives, join continuations
+        raw: list[tuple[str, int, bool]] = []  # (text, lineno, is_directive)
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            stripped = line.rstrip("\n")
+            if not stripped.strip():
+                continue
+            m = _DIRECTIVE_RE.match(stripped)
+            if m:
+                raw.append((stripped[m.end():], lineno, True))
+                continue
+            # fixed-form comment: 'c', 'C' or '*' in column 1 followed by
+            # whitespace or end-of-line ("call foo" is NOT a comment).
+            if _COMMENT_LINE_RE.match(stripped):
+                continue
+            if stripped.lstrip().startswith("!"):
+                continue
+            # inline ! comment (not inside a string)
+            code = _strip_inline_comment(stripped)
+            if not code.strip():
+                continue
+            raw.append((code, lineno, False))
+        # 2. join continuations: trailing '&' or next line leading '&'
+        joined: list[tuple[str, int, bool]] = []
+        for text, lineno, isdir in raw:
+            t = text.rstrip()
+            lead_cont = t.lstrip().startswith("&")
+            if lead_cont:
+                t = t.lstrip()[1:]
+            if joined and (joined[-1][0].rstrip().endswith("&") or (lead_cont and joined[-1][2] == isdir)):
+                prev_text, prev_line, prev_dir = joined[-1]
+                prev_text = prev_text.rstrip()
+                if prev_text.endswith("&"):
+                    prev_text = prev_text[:-1]
+                joined[-1] = (prev_text + " " + t.strip(), prev_line, prev_dir)
+            else:
+                joined.append((t, lineno, isdir))
+        # a trailing '&' on the merged line with nothing after is an error we
+        # let the parser surface naturally.
+        out = []
+        for text, lineno, isdir in joined:
+            text = text.rstrip()
+            if text.endswith("&"):
+                text = text[:-1]
+            toks = list(self._tokenize_line(text, lineno))
+            if toks:
+                out.append(LogicalLine(toks, lineno, isdir))
+        return out
+
+    def _tokenize_line(self, text: str, lineno: int) -> Iterator[Token]:
+        i = 0
+        n = len(text)
+        while i < n:
+            ch = text[i]
+            if ch in " \t":
+                i += 1
+                continue
+            # strings
+            if ch == "'":
+                j = text.find("'", i + 1)
+                if j < 0:
+                    raise LexError(f"line {lineno}: unterminated string")
+                yield Token(TokenKind.STRING, text[i : j + 1], text[i + 1 : j], lineno, i)
+                i = j + 1
+                continue
+            # dot operators (.lt. etc) — must precede number lexing of ".5"
+            if ch == ".":
+                low = text[i:].lower()
+                matched = False
+                for dop, repl in _DOT_OPS.items():
+                    if low.startswith(dop):
+                        yield Token(TokenKind.OP, repl, None, lineno, i)
+                        i += len(dop)
+                        matched = True
+                        break
+                if matched:
+                    continue
+            # numbers
+            m = _NUM_RE.match(text, i)
+            if m and (ch.isdigit() or ch == "."):
+                s = m.group(0)
+                if m.group("int") is not None and m.group("real") is None:
+                    yield Token(TokenKind.INT, s, int(s), lineno, i)
+                else:
+                    norm = s.lower().replace("d", "e")
+                    yield Token(TokenKind.REAL, s, float(norm), lineno, i)
+                i = m.end()
+                continue
+            # names
+            m = _NAME_RE.match(text, i)
+            if m:
+                yield Token(TokenKind.NAME, m.group(0).lower(), None, lineno, i)
+                i = m.end()
+                continue
+            # operators
+            for op in _OPERATORS:
+                if text.startswith(op, i):
+                    yield Token(TokenKind.OP, op, None, lineno, i)
+                    i += len(op)
+                    break
+            else:
+                raise LexError(f"line {lineno}, col {i}: unexpected character {ch!r}")
+        yield Token(TokenKind.EOL, "", None, lineno, n)
+
+
+def _strip_inline_comment(line: str) -> str:
+    """Remove a trailing ! comment, respecting single-quoted strings."""
+    out = []
+    in_str = False
+    for ch in line:
+        if ch == "'":
+            in_str = not in_str
+        if ch == "!" and not in_str:
+            break
+        out.append(ch)
+    return "".join(out)

@@ -1,0 +1,535 @@
+"""Constraints and basic (conjunctive) integer sets.
+
+A :class:`BasicSet` is ``{ [d1,...,dn] : exists e1..ek . /\\ constraints }``
+where constraints are affine equalities/inequalities over the tuple dims,
+the existential variables, and any remaining free names, which are treated
+as symbolic integer *parameters* (grid size N, processor id ``myid``,
+block size, ...).
+
+Projection uses Fourier-Motzkin elimination with Omega-style *dark shadow*
+reasoning: elimination is exact whenever one of the combined coefficients is
+1 (true for nearly all sets arising in HPF analysis); otherwise the result is
+flagged approximate and downstream queries answer conservatively.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import ceil, floor, gcd
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .terms import LinExpr, E
+
+# Cap on constraints kept per basic set during elimination; beyond this we
+# drop obviously-redundant constraints aggressively.  FM blowup is quadratic
+# per step; HPF sets are small (tens of constraints) so this is a backstop.
+_MAX_CONSTRAINTS = 400
+
+
+class Constraint:
+    """``expr == 0`` (is_eq) or ``expr >= 0`` — normalized over the integers."""
+
+    __slots__ = ("expr", "is_eq", "_hash")
+
+    def __init__(self, expr: LinExpr, is_eq: bool):
+        expr = LinExpr.of(expr)
+        g = expr.content()
+        if g > 1:
+            const = expr.constant
+            if is_eq:
+                # g | const is required for integer solutions; if not, the
+                # constraint is unsatisfiable — keep it as an impossible
+                # constant equality so emptiness detection sees it.
+                if const % g == 0:
+                    expr = LinExpr({k: v // g for k, v in expr.coeffs.items()}, const // g)
+                else:
+                    expr = LinExpr.const(1)  # 1 == 0 : impossible
+            else:
+                # sum(a_i x_i) + c >= 0, g | a_i  =>  sum(a_i/g x_i) + floor(c/g) >= 0
+                expr = LinExpr({k: v // g for k, v in expr.coeffs.items()}, floor(const / g))
+        if is_eq and expr.coeffs:
+            # canonical sign: first (lexicographically smallest) coeff positive
+            first = next(iter(expr.coeffs.values()))
+            if first < 0:
+                expr = -expr
+        self.expr = expr
+        self.is_eq = is_eq
+        self._hash = hash((expr, is_eq))
+
+    # -- constructors --------------------------------------------------
+    @staticmethod
+    def eq(lhs: LinExpr | int | str, rhs: LinExpr | int | str = 0) -> "Constraint":
+        """``lhs == rhs``"""
+        return Constraint(E(lhs) - E(rhs), True)
+
+    @staticmethod
+    def ge(lhs: LinExpr | int | str, rhs: LinExpr | int | str = 0) -> "Constraint":
+        """``lhs >= rhs``"""
+        return Constraint(E(lhs) - E(rhs), False)
+
+    @staticmethod
+    def le(lhs: LinExpr | int | str, rhs: LinExpr | int | str = 0) -> "Constraint":
+        """``lhs <= rhs``"""
+        return Constraint(E(rhs) - E(lhs), False)
+
+    # -- queries ---------------------------------------------------------
+    def is_trivially_true(self) -> bool:
+        e = self.expr
+        if not e.is_constant():
+            return False
+        return e.constant == 0 if self.is_eq else e.constant >= 0
+
+    def is_trivially_false(self) -> bool:
+        e = self.expr
+        if not e.is_constant():
+            return False
+        return e.constant != 0 if self.is_eq else e.constant < 0
+
+    def vars(self) -> frozenset[str]:
+        return self.expr.vars()
+
+    def substitute(self, binding: Mapping[str, LinExpr | int]) -> "Constraint":
+        return Constraint(self.expr.substitute(binding), self.is_eq)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self.expr.rename(mapping), self.is_eq)
+
+    def satisfied_by(self, binding: Mapping[str, int]) -> bool:
+        v = self.expr.evaluate(binding)
+        return v == 0 if self.is_eq else v >= 0
+
+    def negated(self) -> "list[Constraint]":
+        """Integer negation. ``e == 0`` negates to two disjuncts (callers get
+        a list and build a union); ``e >= 0`` negates to ``-e - 1 >= 0``."""
+        if self.is_eq:
+            return [Constraint(self.expr - 1, False), Constraint(-self.expr - 1, False)]
+        return [Constraint(-self.expr - 1, False)]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constraint)
+            and self.is_eq == other.is_eq
+            and self.expr == other.expr
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        op = "=" if self.is_eq else ">="
+        return f"{self.expr} {op} 0"
+
+    __repr__ = __str__
+
+
+def _dedup(constraints: Iterable[Constraint]) -> list[Constraint]:
+    """Remove duplicates and pairwise-dominated inequalities."""
+    eqs: list[Constraint] = []
+    # best (largest-constant ⇒ weakest? no: expr + c >= 0, larger c is weaker)
+    # keep, per coefficient vector, the *tightest* (smallest constant).
+    best: dict[tuple, int] = {}
+    for c in constraints:
+        if c.is_trivially_true():
+            continue
+        if c.is_eq:
+            if c not in eqs:
+                eqs.append(c)
+            continue
+        key = tuple(c.expr.coeffs.items())
+        const = c.expr.constant
+        if key not in best or const < best[key]:
+            best[key] = const
+    ineqs = [Constraint(LinExpr(dict(k), v), False) for k, v in best.items()]
+    return eqs + ineqs
+
+
+class BasicSet:
+    """A conjunctive affine integer set with existential variables.
+
+    ``dims`` is the ordered tuple of set dimensions; ``exists`` are
+    existentially quantified auxiliary variables; every other name appearing
+    in a constraint is a free symbolic parameter.
+    """
+
+    __slots__ = ("dims", "exists", "constraints", "exact")
+
+    def __init__(
+        self,
+        dims: Sequence[str],
+        constraints: Iterable[Constraint] = (),
+        exists: Iterable[str] = (),
+        exact: bool = True,
+    ):
+        self.dims: tuple[str, ...] = tuple(dims)
+        if len(set(self.dims)) != len(self.dims):
+            raise ValueError(f"duplicate dims in {self.dims}")
+        self.exists: frozenset[str] = frozenset(exists)
+        if self.exists & set(self.dims):
+            raise ValueError("existential variable collides with a dim")
+        self.constraints: tuple[Constraint, ...] = tuple(_dedup(constraints))
+        self.exact = exact
+
+    # -- basic structure -------------------------------------------------
+    def params(self) -> frozenset[str]:
+        """Free symbolic parameters: variables that are neither dims nor exists."""
+        used: set[str] = set()
+        for c in self.constraints:
+            used |= c.vars()
+        return frozenset(used - set(self.dims) - self.exists)
+
+    def with_constraints(self, extra: Iterable[Constraint]) -> "BasicSet":
+        return BasicSet(self.dims, list(self.constraints) + list(extra), self.exists, self.exact)
+
+    def rename_dims(self, mapping: Mapping[str, str]) -> "BasicSet":
+        new_dims = tuple(mapping.get(d, d) for d in self.dims)
+        return BasicSet(
+            new_dims,
+            [c.rename(mapping) for c in self.constraints],
+            {mapping.get(e, e) for e in self.exists},
+            self.exact,
+        )
+
+    def _fresh(self, base: str, taken: set[str]) -> str:
+        i = 0
+        while f"{base}'{i}" in taken:
+            i += 1
+        return f"{base}'{i}"
+
+    def align_exists(self, avoid: set[str]) -> "BasicSet":
+        """Rename existential variables so they avoid the given names."""
+        clash = self.exists & avoid
+        if not clash:
+            return self
+        taken = set(avoid) | self.exists | set(self.dims) | set(self.params())
+        mapping = {}
+        for e in clash:
+            fresh = self._fresh(e, taken)
+            mapping[e] = fresh
+            taken.add(fresh)
+        return BasicSet(
+            self.dims,
+            [c.rename(mapping) for c in self.constraints],
+            {mapping.get(e, e) for e in self.exists},
+            self.exact,
+        )
+
+    # -- algebra ---------------------------------------------------------
+    def intersect(self, other: "BasicSet") -> "BasicSet":
+        if self.dims != other.dims:
+            raise ValueError(f"space mismatch: {self.dims} vs {other.dims}")
+        o = other.align_exists(self.exists | set(self.dims) | self.params())
+        return BasicSet(
+            self.dims,
+            list(self.constraints) + list(o.constraints),
+            self.exists | o.exists,
+            self.exact and o.exact,
+        )
+
+    def substitute(self, binding: Mapping[str, LinExpr | int]) -> "BasicSet":
+        """Substitute *parameters* (or dims being fixed) by expressions.
+
+        Any substituted dim is removed from the dim tuple.
+        """
+        new_dims = tuple(d for d in self.dims if d not in binding)
+        return BasicSet(
+            new_dims,
+            [c.substitute(binding) for c in self.constraints],
+            self.exists - set(binding),
+            self.exact,
+        )
+
+    # -- Fourier-Motzkin ---------------------------------------------------
+    def _eliminate_var(
+        self, constraints: list[Constraint], var: str
+    ) -> tuple[list[Constraint], bool]:
+        """Eliminate *var* from a constraint list. Returns (result, exact)."""
+        exact = True
+        # 1. use an equality with unit coefficient if available (exact)
+        for c in constraints:
+            if c.is_eq:
+                a = c.expr.coeff(var)
+                if a in (1, -1):
+                    # var = -(rest)/a
+                    _, rest = c.expr.as_fraction_of(var)
+                    repl = rest * (-1 if a == 1 else 1)
+                    out = [k.substitute({var: repl}) for k in constraints if k is not c]
+                    return _dedup(out), True
+        # 2. equality with non-unit coefficient: scale-substitute (approximate:
+        #    loses the divisibility condition a | rest)
+        for c in constraints:
+            if c.is_eq and c.expr.coeff(var) != 0:
+                a = c.expr.coeff(var)
+                _, rest = c.expr.as_fraction_of(var)
+                # a*var + rest == 0  =>  var = -rest/a ; multiply others by |a|
+                out = []
+                for k in constraints:
+                    if k is c:
+                        continue
+                    b = k.expr.coeff(var)
+                    if b == 0:
+                        out.append(k)
+                    else:
+                        _, krest = k.expr.as_fraction_of(var)
+                        # |a| * k :  b*(-rest/a)*|a| + krest*|a|
+                        sign = 1 if a > 0 else -1
+                        newe = krest * abs(a) + rest * (-b * sign)
+                        out.append(Constraint(newe, k.is_eq))
+                return _dedup(out), False
+        # 3. inequalities: FM with dark-shadow exactness check
+        lowers: list[tuple[int, LinExpr]] = []  # a*var >= -rest  (a>0)
+        uppers: list[tuple[int, LinExpr]] = []  # b*var <= rest   (b>0)
+        rest_cons: list[Constraint] = []
+        for c in constraints:
+            a = c.expr.coeff(var)
+            if a == 0:
+                rest_cons.append(c)
+            elif a > 0:
+                _, rest = c.expr.as_fraction_of(var)
+                lowers.append((a, rest))
+            else:
+                _, rest = c.expr.as_fraction_of(var)
+                uppers.append((-a, rest))
+        out = list(rest_cons)
+        for (a, rl), (b, ru) in itertools.product(lowers, uppers):
+            # a*var + rl >= 0  and  -b*var + ru >= 0
+            # real shadow: a*ru + b*rl >= 0 ; exact iff a==1 or b==1
+            out.append(Constraint(ru * a + rl * b, False))
+            if a != 1 and b != 1:
+                exact = False
+        out = _dedup(out)
+        if len(out) > _MAX_CONSTRAINTS:
+            # keep equalities + the syntactically smallest inequalities
+            eqs = [c for c in out if c.is_eq]
+            iq = sorted(
+                (c for c in out if not c.is_eq),
+                key=lambda c: (len(c.expr.coeffs), sum(abs(v) for v in c.expr.coeffs.values())),
+            )
+            out = eqs + iq[:_MAX_CONSTRAINTS]
+            exact = False
+        return out, exact
+
+    def project_out(self, names: Iterable[str]) -> "BasicSet":
+        """Existentially project away the given dims / exists vars."""
+        names = [n for n in names if n in self.dims or n in self.exists]
+        cons = list(self.constraints)
+        exact = self.exact
+        for n in names:
+            cons, ok = self._eliminate_var(cons, n)
+            exact = exact and ok
+        new_dims = tuple(d for d in self.dims if d not in names)
+        return BasicSet(new_dims, cons, self.exists - set(names), exact)
+
+    def eliminate_exists(self) -> "BasicSet":
+        """Project away all existential variables (possibly approximate)."""
+        if not self.exists:
+            return self
+        return self.project_out(list(self.exists))
+
+    # -- emptiness / membership --------------------------------------------
+    def is_empty(self) -> bool:
+        """True iff the set is *provably* empty (rationally infeasible, which
+        is sound over the integers).  "False" means "could not prove empty".
+
+        Elimination order matters for integer precision: variables with a
+        unit-coefficient equality are substituted first (exact), so that
+        divisibility contradictions like ``{j = 0, 2i + j + 1 = 0}`` are
+        found regardless of name order.
+        """
+        cons = list(self.constraints)
+        for c in cons:
+            if c.is_trivially_false():
+                return True
+        all_vars: set[str] = set(self.dims) | set(self.exists)
+        for c in cons:
+            all_vars |= c.vars()
+        remaining = set(all_vars)
+        while remaining:
+            # prefer a variable with a unit-coefficient equality (exact sub)
+            pick = None
+            for c in cons:
+                if c.is_eq:
+                    for v in sorted(remaining):
+                        if c.expr.coeff(v) in (1, -1):
+                            pick = v
+                            break
+                if pick:
+                    break
+            if pick is None:
+                pick = sorted(remaining)[0]
+            remaining.discard(pick)
+            cons, _ = self._eliminate_var(cons, pick)
+            for c in cons:
+                if c.is_trivially_false():
+                    return True
+        return any(c.is_trivially_false() for c in cons)
+
+    def contains(self, point: Sequence[int], params: Mapping[str, int] | None = None) -> bool:
+        """Membership test for a concrete point under concrete parameters.
+
+        If the set has existential variables, feasibility of the residual
+        system in the existentials is checked by bounded search.
+        """
+        if len(point) != len(self.dims):
+            raise ValueError(f"point arity {len(point)} != set arity {len(self.dims)}")
+        binding: dict[str, int] = dict(zip(self.dims, point))
+        if params:
+            binding.update(params)
+        residual: list[Constraint] = []
+        for c in self.constraints:
+            e = c.expr.evaluate_partial(binding)
+            cc = Constraint(e, c.is_eq)
+            if cc.is_trivially_false():
+                return False
+            if not cc.is_trivially_true():
+                residual.append(cc)
+        if not residual:
+            return True
+        free = set()
+        for c in residual:
+            free |= c.vars()
+        missing = free - self.exists
+        if missing:
+            raise KeyError(f"unbound parameters in contains(): {sorted(missing)}")
+        return _exists_feasible(residual, sorted(free))
+
+    # -- enumeration --------------------------------------------------------
+    def bounds_of(
+        self, var: str, binding: Mapping[str, int]
+    ) -> tuple[int, int] | None:
+        """Concrete [lb, ub] of one variable after substituting *binding* and
+        projecting away every other dim/exists var.  None if unbounded."""
+        sub = self.substitute({k: LinExpr.const(v) for k, v in binding.items()})
+        others = [d for d in sub.dims if d != var] + list(sub.exists)
+        proj = sub.project_out(others)
+        lb: int | None = None
+        ub: int | None = None
+        for c in proj.constraints:
+            a = c.expr.coeff(var)
+            if a == 0:
+                if c.is_trivially_false():
+                    return (1, 0)  # empty range
+                continue
+            _, rest = c.expr.as_fraction_of(var)
+            if not rest.is_constant():
+                continue  # still-symbolic bound: ignore (caller handles)
+            r = rest.constant
+            if c.is_eq:
+                if r % a != 0:
+                    return (1, 0)
+                v = -r // a
+                lb = v if lb is None else max(lb, v)
+                ub = v if ub is None else min(ub, v)
+            elif a > 0:  # a*var + r >= 0 -> var >= ceil(-r/a)
+                v = ceil(-r / a)
+                lb = v if lb is None else max(lb, v)
+            else:  # a<0: var <= floor(r/(-a))
+                v = floor(r / (-a))
+                ub = v if ub is None else min(ub, v)
+        if lb is None or ub is None:
+            return None
+        return (lb, ub)
+
+    def enumerate_points(
+        self, params: Mapping[str, int] | None = None
+    ) -> Iterator[tuple[int, ...]]:
+        """Yield every integer point (requires all parameters bound)."""
+        params = dict(params or {})
+        sub = self.substitute({k: LinExpr.const(v) for k, v in params.items()})
+        leftover = sub.params()
+        if leftover:
+            raise KeyError(f"unbound parameters in enumerate_points(): {sorted(leftover)}")
+        yield from _scan(sub, self.dims, {})
+
+    def sample(self, params: Mapping[str, int] | None = None) -> tuple[int, ...] | None:
+        """Return one point of the set under the binding, or None if empty."""
+        for p in self.enumerate_points(params):
+            return p
+        return None
+
+    def count(self, params: Mapping[str, int] | None = None) -> int:
+        return sum(1 for _ in self.enumerate_points(params))
+
+    # -- dunder ----------------------------------------------------------
+    def __str__(self) -> str:
+        body = " and ".join(str(c) for c in self.constraints) or "true"
+        ex = f" exists {','.join(sorted(self.exists))} :" if self.exists else ""
+        mark = "" if self.exact else " (approx)"
+        return f"{{[{','.join(self.dims)}] :{ex} {body}}}{mark}"
+
+    __repr__ = __str__
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BasicSet)
+            and self.dims == other.dims
+            and self.exists == other.exists
+            and set(self.constraints) == set(other.constraints)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.dims, self.exists, frozenset(self.constraints)))
+
+
+def _scan(bs: BasicSet, dims: Sequence[str], fixed: dict[str, int]) -> Iterator[tuple[int, ...]]:
+    """Recursive lattice scan of a fully-parametrized basic set."""
+    remaining = [d for d in dims if d not in fixed]
+    if not remaining:
+        pt = tuple(fixed[d] for d in dims)
+        residual = []
+        ok = True
+        for c in bs.constraints:
+            e = c.expr.evaluate_partial(fixed)
+            cc = Constraint(e, c.is_eq)
+            if cc.is_trivially_false():
+                ok = False
+                break
+            if not cc.is_trivially_true():
+                residual.append(cc)
+        if ok and residual:
+            free = set()
+            for c in residual:
+                free |= c.vars()
+            ok = _exists_feasible(residual, sorted(free))
+        if ok:
+            yield pt
+        return
+    var = remaining[0]
+    rng = bs.bounds_of(var, fixed)
+    if rng is None:
+        raise ValueError(f"dimension {var!r} is unbounded; cannot enumerate")
+    lo, hi = rng
+    for v in range(lo, hi + 1):
+        yield from _scan(bs, dims, {**fixed, var: v})
+
+
+def _exists_feasible(constraints: list[Constraint], free: list[str]) -> bool:
+    """Bounded search for an integer assignment of existential variables."""
+    if not free:
+        return all(c.is_trivially_true() for c in constraints)
+    helper = BasicSet(tuple(free), constraints)
+    if helper.is_empty():
+        return False
+    var = free[0]
+    rng = helper.bounds_of(var, {})
+    if rng is None:
+        # unbounded existential: fall back to rational feasibility, which
+        # `is_empty` already failed to refute — accept (sound for the cyclic
+        # stride sets this is used for, where strides have unit coefficient).
+        return True
+    lo, hi = rng
+    if hi - lo > 10000:
+        return True  # too wide to search; conservative accept
+    for v in range(lo, hi + 1):
+        residual = []
+        ok = True
+        for c in constraints:
+            e = c.expr.evaluate_partial({var: v})
+            cc = Constraint(e, c.is_eq)
+            if cc.is_trivially_false():
+                ok = False
+                break
+            if not cc.is_trivially_true():
+                residual.append(cc)
+        if ok and _exists_feasible(residual, free[1:]):
+            return True
+    return False

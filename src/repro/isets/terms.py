@@ -1,0 +1,227 @@
+"""Affine linear expressions over named integer variables.
+
+A :class:`LinExpr` is an immutable mapping ``{var_name: coeff}`` plus an
+integer constant.  Variables are identified purely by name; whether a name is
+a tuple dimension, an existential variable, or a free symbolic parameter is
+decided by the set that contains the expression, not by the expression
+itself.  All coefficients are Python ints (arbitrary precision), so there is
+no overflow anywhere in the framework.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class Term:
+    """A single ``coeff * var`` term (used when pretty-printing)."""
+
+    coeff: int
+    var: str
+
+    def __str__(self) -> str:
+        if self.coeff == 1:
+            return self.var
+        if self.coeff == -1:
+            return f"-{self.var}"
+        return f"{self.coeff}{self.var}"
+
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_'$.]*$")
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + const``.
+
+    Immutable and hashable.  Supports ``+``, ``-``, scalar ``*``,
+    substitution of variables by other LinExprs, and evaluation under a
+    concrete integer binding.
+    """
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, const: int = 0):
+        items = {}
+        if coeffs:
+            for name, c in coeffs.items():
+                if not isinstance(c, int):
+                    raise TypeError(f"coefficient for {name!r} must be int, got {type(c).__name__}")
+                if not _NAME_RE.match(name):
+                    raise ValueError(f"invalid variable name {name!r}")
+                if c != 0:
+                    items[name] = c
+        if not isinstance(const, int):
+            raise TypeError(f"constant must be int, got {type(const).__name__}")
+        object.__setattr__(self, "_coeffs", dict(sorted(items.items())))
+        object.__setattr__(self, "_const", const)
+        object.__setattr__(self, "_hash", hash((tuple(self._coeffs.items()), const)))
+
+    # -- constructors -------------------------------------------------
+    @staticmethod
+    def var(name: str) -> "LinExpr":
+        """The expression consisting of a single variable."""
+        return LinExpr({name: 1})
+
+    @staticmethod
+    def const(value: int) -> "LinExpr":
+        """A constant expression."""
+        return LinExpr({}, value)
+
+    @staticmethod
+    def of(value: "LinExpr | int | str") -> "LinExpr":
+        """Coerce an int (constant), str (variable) or LinExpr."""
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, int):
+            return LinExpr.const(value)
+        if isinstance(value, str):
+            return LinExpr.var(value)
+        raise TypeError(f"cannot coerce {type(value).__name__} to LinExpr")
+
+    # -- accessors -----------------------------------------------------
+    @property
+    def coeffs(self) -> Mapping[str, int]:
+        return self._coeffs
+
+    @property
+    def constant(self) -> int:
+        return self._const
+
+    def coeff(self, name: str) -> int:
+        return self._coeffs.get(name, 0)
+
+    def vars(self) -> frozenset[str]:
+        return frozenset(self._coeffs)
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def content(self) -> int:
+        """GCD of the variable coefficients (0 for a constant expression)."""
+        g = 0
+        for c in self._coeffs.values():
+            g = gcd(g, abs(c))
+        return g
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "LinExpr | int") -> "LinExpr":
+        other = LinExpr.of(other)
+        coeffs = dict(self._coeffs)
+        for name, c in other._coeffs.items():
+            coeffs[name] = coeffs.get(name, 0) + c
+        return LinExpr(coeffs, self._const + other._const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({k: -v for k, v in self._coeffs.items()}, -self._const)
+
+    def __sub__(self, other: "LinExpr | int") -> "LinExpr":
+        return self + (-LinExpr.of(other))
+
+    def __rsub__(self, other: "LinExpr | int") -> "LinExpr":
+        return LinExpr.of(other) + (-self)
+
+    def __mul__(self, k: int) -> "LinExpr":
+        if not isinstance(k, int):
+            raise TypeError("LinExpr can only be multiplied by an int")
+        if k == 0:
+            return LinExpr()
+        return LinExpr({name: c * k for name, c in self._coeffs.items()}, self._const * k)
+
+    __rmul__ = __mul__
+
+    def substitute(self, binding: Mapping[str, "LinExpr | int"]) -> "LinExpr":
+        """Replace each variable in *binding* by the given expression."""
+        out = LinExpr.const(self._const)
+        for name, c in self._coeffs.items():
+            if name in binding:
+                out = out + LinExpr.of(binding[name]) * c
+            else:
+                out = out + LinExpr({name: c})
+        return out
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        """Rename variables; names not in *mapping* are unchanged."""
+        coeffs: dict[str, int] = {}
+        for name, c in self._coeffs.items():
+            new = mapping.get(name, name)
+            coeffs[new] = coeffs.get(new, 0) + c
+        return LinExpr(coeffs, self._const)
+
+    def evaluate(self, binding: Mapping[str, int]) -> int:
+        """Evaluate under a complete integer binding of the variables."""
+        total = self._const
+        for name, c in self._coeffs.items():
+            try:
+                total += c * binding[name]
+            except KeyError:
+                raise KeyError(f"no binding for variable {name!r}") from None
+        return total
+
+    def evaluate_partial(self, binding: Mapping[str, int]) -> "LinExpr":
+        """Substitute any bound variables, leaving others symbolic."""
+        return self.substitute({k: LinExpr.const(v) for k, v in binding.items() if k in self._coeffs})
+
+    def as_fraction_of(self, name: str) -> tuple[int, "LinExpr"]:
+        """Split into ``(coeff_of_name, rest)`` with ``self = coeff*name + rest``."""
+        c = self.coeff(name)
+        rest = LinExpr({k: v for k, v in self._coeffs.items() if k != name}, self._const)
+        return c, rest
+
+    def solve_for(self, name: str) -> "tuple[Fraction, LinExpr]":
+        """If ``self == 0``, return ``(1/c, -rest)`` such that ``name = -rest / c``."""
+        c, rest = self.as_fraction_of(name)
+        if c == 0:
+            raise ValueError(f"{name!r} does not appear in {self}")
+        return Fraction(1, c), -rest
+
+    # -- dunder --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LinExpr)
+            and self._coeffs == other._coeffs
+            and self._const == other._const
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._coeffs) or self._const != 0
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for name, c in self._coeffs.items():
+            term = str(Term(c, name))
+            if parts and not term.startswith("-"):
+                parts.append("+" + term)
+            else:
+                parts.append(term)
+        if self._const or not parts:
+            s = str(self._const)
+            if parts and self._const > 0:
+                s = "+" + s
+            parts.append(s)
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return f"LinExpr({self})"
+
+
+def E(value: "LinExpr | int | str") -> LinExpr:
+    """Shorthand coercion used throughout the compiler."""
+    return LinExpr.of(value)
+
+
+def total_gcd(values: Iterable[int]) -> int:
+    """GCD of a collection of integers (0 for an empty collection)."""
+    g = 0
+    for v in values:
+        g = gcd(g, abs(v))
+    return g

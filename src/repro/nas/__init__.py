@@ -1,0 +1,18 @@
+"""NAS application benchmark substrates: SP and BT.
+
+- :mod:`.kernels` — the paper's motivating kernels (Figures 4.1, 4.2, 5.1,
+  6.1) as mini-Fortran + HPF sources, parsed and compiled end-to-end by the
+  compiler pipeline.
+- :mod:`.classes` — NAS problem classes (S/W/A/B grid sizes and iteration
+  counts) plus the scaled-down functional grids used for numerical checks.
+- :mod:`.sp` / :mod:`.bt` — serial reference implementations (numpy) of the
+  SP (scalar pentadiagonal) and BT (block tridiagonal 5x5) pseudo-CFD
+  applications: ADI timesteps with compute_rhs and bi-directional x/y/z
+  line solves.
+"""
+
+from .classes import NASClass, CLASSES, FUNCTIONAL_GRID
+from .sp import SPSolver
+from .bt import BTSolver
+
+__all__ = ["NASClass", "CLASSES", "FUNCTIONAL_GRID", "SPSolver", "BTSolver"]

@@ -1,0 +1,42 @@
+"""NAS problem classes and evaluation grid sizes.
+
+The paper evaluates Class A (SP/BT: 64^3) and Class B (SP: 102^3, BT:
+102^3) per the NAS 2.0 benchmarking standards.  Those sizes feed the
+*timing model* (work per sweep, message volumes).  Functional/numerical
+verification runs on :data:`FUNCTIONAL_GRID`-sized problems so the whole
+pipeline executes in seconds under a Python interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NASClass:
+    """One NAS problem class: grid size and timestep count."""
+
+    name: str
+    problem_size: int  # grid points per dimension
+    niter_sp: int
+    niter_bt: int
+    dt_sp: float
+    dt_bt: float
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.problem_size,) * 3
+
+
+CLASSES: dict[str, NASClass] = {
+    "S": NASClass("S", 12, 100, 60, 0.015, 0.010),
+    "W": NASClass("W", 36, 400, 200, 0.0015, 0.0008),
+    "A": NASClass("A", 64, 400, 200, 0.0015, 0.0008),
+    "B": NASClass("B", 102, 400, 200, 0.001, 0.0003),
+}
+
+#: grid used for functional (numerical-equality) checks of parallel codes
+FUNCTIONAL_GRID = (12, 12, 12)
+
+#: timesteps used for functional checks
+FUNCTIONAL_STEPS = 3

@@ -1,0 +1,325 @@
+"""The paper's motivating NAS kernels as mini-Fortran + HPF sources.
+
+Each constant below is a compilable source string reproducing the loop the
+paper uses to motivate one optimization:
+
+- :data:`LHSY_SP` — Figure 4.1: ``lhsy`` from SP, privatizable arrays
+  ``cv``/``rhoq`` under a NEW directive.
+- :data:`COMPUTE_RHS_BT` — Figure 4.2: ``compute_rhs`` from BT, reciprocal
+  arrays under a LOCALIZE directive inside a one-trip loop.
+- :data:`Y_SOLVE_SP` — Figure 5.1: ``y_solve`` from SP, the 10-statement
+  loop whose loop-independent dependences are fully localizable; and
+  :data:`Y_SOLVE_SP_VARIANT` — the variant the paper discusses (statement 8
+  references ``lhs(i,j+1,k,n+4)``) that forces a 2-way distribution.
+- :data:`BT_SOLVE_CELL` — Figure 6.1: the BT cell solve calling the leaf
+  routines ``matvec_sub`` / ``matmul_sub`` / ``binvcrhs``.
+
+Sizes are parameterized by a PARAMETER ``nx`` so tests can compile small
+instances; the HPF directives mirror the paper's (§8.1: BLOCK,BLOCK over
+the y and z spatial dimensions for SP).
+"""
+
+LHSY_SP = """
+      subroutine lhsy(n)
+      integer n, i, j, k
+      parameter (nx = 16)
+      double precision lhs(0:nx,0:nx,0:nx,15)
+      double precision cv(0:nx), rhoq(0:nx)
+      double precision ru1, c2, dy3, c1c5, dtty1, dtty2
+      common /fields/ lhs
+chpf$ processors procs(2,2)
+chpf$ template tmpl(0:nx,0:nx)
+chpf$ align lhs(i,j,k,m) with tmpl(j,k)
+chpf$ align cv(j) with tmpl(j,*)
+chpf$ align rhoq(j) with tmpl(j,*)
+chpf$ distribute tmpl(block, block) onto procs
+      do k = 1, n - 2
+         do i = 1, n - 2
+chpf$ independent, new(cv, rhoq)
+            do j = 0, n - 1
+               ru1 = c2*(j + i)
+               cv(j) = ru1
+               rhoq(j) = dy3 + c1c5*ru1
+            enddo
+            do j = 1, n - 2
+               lhs(i,j,k,1) = 0.0d0
+               lhs(i,j,k,2) = -dtty2*cv(j-1) - dtty1*rhoq(j-1)
+               lhs(i,j,k,3) = 1.0d0 + c2*rhoq(j)
+               lhs(i,j,k,4) = dtty2*cv(j+1) - dtty1*rhoq(j+1)
+               lhs(i,j,k,5) = -dtty1*rhoq(j+1)
+            enddo
+         enddo
+      enddo
+      return
+      end
+"""
+
+COMPUTE_RHS_BT = """
+      subroutine compute_rhs(n)
+      integer n, i, j, k, onetrip
+      parameter (nx = 12)
+      double precision rho_i(0:nx,0:nx,0:nx), us(0:nx,0:nx,0:nx)
+      double precision vs(0:nx,0:nx,0:nx), ws(0:nx,0:nx,0:nx)
+      double precision square(0:nx,0:nx,0:nx), qs(0:nx,0:nx,0:nx)
+      double precision u(0:nx,0:nx,0:nx,5), rhs(0:nx,0:nx,0:nx,5)
+      double precision rho_inv, c1, c2
+      common /fields/ u, rhs
+chpf$ processors procs(2,2,2)
+chpf$ template tmpl(0:nx,0:nx,0:nx)
+chpf$ align rho_i(i,j,k) with tmpl(i,j,k)
+chpf$ align us(i,j,k) with tmpl(i,j,k)
+chpf$ align vs(i,j,k) with tmpl(i,j,k)
+chpf$ align ws(i,j,k) with tmpl(i,j,k)
+chpf$ align square(i,j,k) with tmpl(i,j,k)
+chpf$ align qs(i,j,k) with tmpl(i,j,k)
+chpf$ align u(i,j,k,m) with tmpl(i,j,k)
+chpf$ align rhs(i,j,k,m) with tmpl(i,j,k)
+chpf$ distribute tmpl(block, block, block) onto procs
+chpf$ independent, localize(rho_i, us, vs, ws, square, qs)
+      do onetrip = 1, 1
+         do k = 0, n - 1
+            do j = 0, n - 1
+               do i = 0, n - 1
+                  rho_inv = 1.0d0/u(i,j,k,1)
+                  rho_i(i,j,k) = rho_inv
+                  us(i,j,k) = u(i,j,k,2)*rho_inv
+                  vs(i,j,k) = u(i,j,k,3)*rho_inv
+                  ws(i,j,k) = u(i,j,k,4)*rho_inv
+                  square(i,j,k) = 0.5d0*(u(i,j,k,2)*us(i,j,k) +
+     &               u(i,j,k,3)*vs(i,j,k) + u(i,j,k,4)*ws(i,j,k))
+                  qs(i,j,k) = square(i,j,k)*rho_inv
+               enddo
+            enddo
+         enddo
+         do k = 1, n - 2
+            do j = 1, n - 2
+               do i = 1, n - 2
+                  rhs(i,j,k,2) = rhs(i,j,k,2) + c2*(square(i+1,j,k)
+     &               - square(i-1,j,k))
+                  rhs(i,j,k,3) = rhs(i,j,k,3) + vs(i+1,j,k) - vs(i-1,j,k)
+                  rhs(i,j,k,4) = rhs(i,j,k,4) + ws(i+1,j,k) - ws(i-1,j,k)
+                  rhs(i,j,k,5) = rhs(i,j,k,5) + qs(i+1,j,k) - qs(i-1,j,k)
+     &               + rho_i(i+1,j,k) - rho_i(i-1,j,k)
+               enddo
+            enddo
+         enddo
+         do k = 1, n - 2
+            do j = 1, n - 2
+               do i = 1, n - 2
+                  rhs(i,j,k,3) = rhs(i,j,k,3) + c2*(square(i,j+1,k)
+     &               - square(i,j-1,k)) + vs(i,j+1,k) - vs(i,j-1,k)
+                  rhs(i,j,k,5) = rhs(i,j,k,5) + qs(i,j+1,k) - qs(i,j-1,k)
+     &               + rho_i(i,j+1,k) - rho_i(i,j-1,k)
+               enddo
+            enddo
+         enddo
+         do k = 1, n - 2
+            do j = 1, n - 2
+               do i = 1, n - 2
+                  rhs(i,j,k,4) = rhs(i,j,k,4) + c2*(square(i,j,k+1)
+     &               - square(i,j,k-1)) + ws(i,j,k+1) - ws(i,j,k-1)
+                  rhs(i,j,k,5) = rhs(i,j,k,5) + qs(i,j,k+1) - qs(i,j,k-1)
+     &               + rho_i(i,j,k+1) - rho_i(i,j,k-1)
+               enddo
+            enddo
+         enddo
+      enddo
+      return
+      end
+"""
+
+Y_SOLVE_SP = """
+      subroutine y_solve(n, m)
+      integer n, m, i, j, k
+      parameter (nx = 16)
+      double precision lhs(0:nx,0:nx,0:nx,15), rhs(0:nx,0:nx,0:nx,5)
+      double precision fac1, fac2
+      common /fields/ lhs, rhs
+chpf$ processors procs(2,2)
+chpf$ template tmpl(0:nx,0:nx)
+chpf$ align lhs(i,j,k,q) with tmpl(j,k)
+chpf$ align rhs(i,j,k,q) with tmpl(j,k)
+chpf$ distribute tmpl(block, block) onto procs
+      do k = 1, n - 2
+         do j = 0, n - 3
+            do i = 1, n - 2
+               fac1 = 1.0d0/lhs(i,j,k,m+3)
+               lhs(i,j,k,m+4) = fac1*lhs(i,j,k,m+4)
+               lhs(i,j,k,m+5) = fac1*lhs(i,j,k,m+5)
+               rhs(i,j,k,1) = fac1*rhs(i,j,k,1)
+               lhs(i,j+1,k,m+3) = lhs(i,j+1,k,m+3) -
+     &            lhs(i,j+1,k,m+2)*lhs(i,j,k,m+4)
+               lhs(i,j+1,k,m+4) = lhs(i,j+1,k,m+4) -
+     &            lhs(i,j+1,k,m+2)*lhs(i,j,k,m+5)
+               rhs(i,j+1,k,1) = rhs(i,j+1,k,1) -
+     &            lhs(i,j+1,k,m+2)*rhs(i,j,k,1)
+               lhs(i,j+2,k,m+2) = lhs(i,j+2,k,m+2) -
+     &            lhs(i,j+2,k,m+1)*lhs(i,j,k,m+4)
+               lhs(i,j+2,k,m+3) = lhs(i,j+2,k,m+3) -
+     &            lhs(i,j+2,k,m+1)*lhs(i,j,k,m+5)
+               rhs(i,j+2,k,1) = rhs(i,j+2,k,1) -
+     &            lhs(i,j+2,k,m+1)*rhs(i,j,k,1)
+            enddo
+         enddo
+      enddo
+      return
+      end
+"""
+
+# Variant the paper discusses: statement 8 reads lhs(i,j+1,k,m+4) instead of
+# lhs(i,j,k,m+4), introducing a loop-independent dependence from statement 6
+# to 8 that cannot be localized -> selective 2-way distribution.
+Y_SOLVE_SP_VARIANT = Y_SOLVE_SP.replace(
+    """               lhs(i,j+2,k,m+2) = lhs(i,j+2,k,m+2) -
+     &            lhs(i,j+2,k,m+1)*lhs(i,j,k,m+4)""",
+    """               lhs(i,j+2,k,m+2) = lhs(i,j+2,k,m+2) -
+     &            lhs(i,j+2,k,m+1)*lhs(i,j+1,k,m+4)""",
+)
+
+BT_SOLVE_CELL = """
+      subroutine matvec_sub(ablock, avec, bvec)
+      double precision ablock(5,5), avec(5), bvec(5)
+      integer q
+      do q = 1, 5
+         bvec(q) = bvec(q) - ablock(q,1)*avec(1) - ablock(q,2)*avec(2)
+     &      - ablock(q,3)*avec(3) - ablock(q,4)*avec(4)
+     &      - ablock(q,5)*avec(5)
+      enddo
+      return
+      end
+
+      subroutine matmul_sub(ablock, bblock, cblock)
+      double precision ablock(5,5), bblock(5,5), cblock(5,5)
+      integer q, r
+      do q = 1, 5
+         do r = 1, 5
+            cblock(q,r) = cblock(q,r) - ablock(q,1)*bblock(1,r)
+     &         - ablock(q,2)*bblock(2,r) - ablock(q,3)*bblock(3,r)
+     &         - ablock(q,4)*bblock(4,r) - ablock(q,5)*bblock(5,r)
+         enddo
+      enddo
+      return
+      end
+
+      subroutine binvcrhs(lhss, c, r)
+      double precision lhss(5,5), c(5,5), r(5)
+      integer q
+      do q = 1, 5
+         r(q) = r(q)/lhss(q,q)
+      enddo
+      return
+      end
+
+      subroutine x_solve_cell(n)
+      integer n, i, j, k
+      parameter (nx = 12)
+      double precision lhs(5,5,3,0:nx,0:nx,0:nx)
+      double precision rhs(5,0:nx,0:nx,0:nx)
+      common /fields/ lhs, rhs
+chpf$ processors procs(2,2)
+chpf$ template tmpl(0:nx,0:nx)
+chpf$ align lhs(a,b,c,i,j,k) with tmpl(j,k)
+chpf$ align rhs(m,i,j,k) with tmpl(j,k)
+chpf$ distribute tmpl(block, block) onto procs
+      do k = 1, n - 2
+         do j = 1, n - 2
+            do i = 1, n - 2
+               call matvec_sub(lhs(1,1,1,i,j,k), rhs(1,i-1,j,k),
+     &            rhs(1,i,j,k))
+               call matmul_sub(lhs(1,1,1,i,j,k), lhs(1,1,3,i-1,j,k),
+     &            lhs(1,1,2,i,j,k))
+               call binvcrhs(lhs(1,1,2,i,j,k), lhs(1,1,3,i,j,k),
+     &            rhs(1,i,j,k))
+            enddo
+         enddo
+      enddo
+      return
+      end
+"""
+
+#: all kernels by figure number, for harness enumeration
+PAPER_KERNELS = {
+    "fig4.1": LHSY_SP,
+    "fig4.2": COMPUTE_RHS_BT,
+    "fig5.1": Y_SOLVE_SP,
+    "fig5.1-variant": Y_SOLVE_SP_VARIANT,
+    "fig6.1": BT_SOLVE_CELL,
+}
+
+# §8.1: "In the exact_rhs subroutine, three NEW directives were used to
+# specify cuf, buf, ue, q, and dtemp as privatizable in each of three loop
+# nests."  One representative nest (the eta-direction one), compacted.
+EXACT_RHS_SP = """
+      subroutine exact_rhs(n)
+      integer n, i, j, k, m
+      parameter (nx = 16)
+      double precision forcing(0:nx,0:nx,0:nx,5)
+      double precision ue(0:nx,5), buf(0:nx,5), cuf(0:nx), q(0:nx)
+      double precision dtemp, xi, eta, zeta, dssp
+chpf$ processors procs(2,2)
+chpf$ template tmpl(0:nx,0:nx)
+chpf$ align forcing(i,j,k,m) with tmpl(j,k)
+chpf$ distribute tmpl(block, block) onto procs
+chpf$ independent, new(ue, buf, cuf, q)
+      do k = 1, n - 2
+         do i = 1, n - 2
+            do j = 0, n - 1
+               dtemp = 0.1d0*(i + j + k)
+               ue(j,1) = dtemp
+               ue(j,2) = dtemp*2.0d0
+               ue(j,3) = dtemp*3.0d0
+               buf(j,1) = ue(j,2)*dtemp
+               cuf(j) = buf(j,1)*buf(j,1)
+               q(j) = 0.5d0*(buf(j,1)*ue(j,2))
+            enddo
+            do j = 1, n - 2
+               forcing(i,j,k,1) = forcing(i,j,k,1) -
+     &            0.5d0*(ue(j+1,2) - ue(j-1,2))
+               forcing(i,j,k,2) = forcing(i,j,k,2) -
+     &            0.5d0*(cuf(j+1) - cuf(j-1) + q(j+1) - q(j-1))
+               forcing(i,j,k,3) = forcing(i,j,k,3) -
+     &            0.5d0*(buf(j+1,1) - buf(j-1,1))
+            enddo
+         enddo
+      enddo
+      return
+      end
+"""
+
+# lhsx analog of Figure 4.1: the privatizable arrays run along the
+# *undistributed* x dimension, so after propagation every definition is
+# fully local (no replication needed at all) — a useful contrast case.
+LHSX_SP = """
+      subroutine lhsx(n)
+      integer n, i, j, k
+      parameter (nx = 16)
+      double precision lhs(0:nx,0:nx,0:nx,15)
+      double precision cv(0:nx), rhoq(0:nx)
+      double precision ru1, c2, dx3, c1c5, dttx1, dttx2
+chpf$ processors procs(2,2)
+chpf$ template tmpl(0:nx,0:nx)
+chpf$ align lhs(i,j,k,m) with tmpl(j,k)
+chpf$ distribute tmpl(block, block) onto procs
+      do k = 1, n - 2
+         do j = 1, n - 2
+chpf$ independent, new(cv, rhoq)
+            do i = 0, n - 1
+               ru1 = c2*(i + j)
+               cv(i) = ru1
+               rhoq(i) = dx3 + c1c5*ru1
+            enddo
+            do i = 1, n - 2
+               lhs(i,j,k,1) = 0.0d0
+               lhs(i,j,k,2) = -dttx2*cv(i-1) - dttx1*rhoq(i-1)
+               lhs(i,j,k,3) = 1.0d0 + c2*rhoq(i)
+               lhs(i,j,k,4) = dttx2*cv(i+1) - dttx1*rhoq(i+1)
+               lhs(i,j,k,5) = -dttx1*rhoq(i+1)
+            enddo
+         enddo
+      enddo
+      return
+      end
+"""
+
+PAPER_KERNELS["exact_rhs"] = EXACT_RHS_SP
+PAPER_KERNELS["lhsx"] = LHSX_SP

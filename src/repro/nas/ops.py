@@ -1,0 +1,334 @@
+"""Shared array-level operations for the SP and BT pseudo-CFD applications.
+
+These functions are written against *views*: the sweep axis is always moved
+to axis 0 (``np.moveaxis`` — no copies), and every function takes explicit
+index ranges, so the exact same code runs on the serial whole-domain arrays
+and on each rank's local tile (+ ghost layers) in the parallel versions.
+That is what lets the tests assert serial == parallel to float tolerance.
+
+The physics is a simplified (but structurally faithful) version of the NAS
+approximately-factored scheme: smooth initial state, central-difference
+flux terms with reciprocals (the §4.2 arrays), fourth-order dissipation
+(ghost width 2, like NAS ``copy_faces``), and per-line pentadiagonal (SP) /
+block-tridiagonal 5x5 (BT) systems solved by forward elimination + back
+substitution, whose statement structure is exactly the paper's Figure 5.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NV = 5  # flow variables per grid point
+
+# scheme constants (chosen for stability/diagonal dominance, not physics)
+C1 = 0.4
+C2 = 0.1
+DISS = 0.02  # fourth-order dissipation strength
+DTT1 = 0.05
+DTT2 = 0.025
+
+
+def exact_solution(coords: tuple[np.ndarray, np.ndarray, np.ndarray], shape: tuple[int, int, int]) -> np.ndarray:
+    """Smooth reference field: u[..., m] as trig polynomials of x,y,z.
+
+    *coords* are (possibly offset) global index arrays so a tile initializes
+    identically to the matching region of the serial domain.
+    """
+    X, Y, Z = coords
+    nx, ny, nz = shape
+    x = X / max(nx - 1, 1)
+    y = Y / max(ny - 1, 1)
+    z = Z / max(nz - 1, 1)
+    u = np.empty(X.shape + (NV,), dtype=np.float64)
+    u[..., 0] = 2.0 + 0.3 * np.sin(np.pi * x) * np.cos(np.pi * y) * np.cos(np.pi * z)
+    u[..., 1] = 0.5 * np.cos(np.pi * x) * np.sin(np.pi * y)
+    u[..., 2] = 0.4 * np.sin(np.pi * y) * np.cos(np.pi * z)
+    u[..., 3] = 0.3 * np.cos(np.pi * z) * np.sin(np.pi * x)
+    u[..., 4] = 4.0 + 0.2 * np.cos(np.pi * x) * np.cos(np.pi * y) * np.cos(np.pi * z)
+    return u
+
+
+def init_field(
+    shape: tuple[int, int, int],
+    lo: tuple[int, int, int] = (0, 0, 0),
+    local_shape: tuple[int, int, int] | None = None,
+) -> np.ndarray:
+    """Initial u over [lo, lo+local_shape) of a *shape*-sized global grid."""
+    ls = local_shape or shape
+    idx = np.meshgrid(
+        np.arange(lo[0], lo[0] + ls[0]),
+        np.arange(lo[1], lo[1] + ls[1]),
+        np.arange(lo[2], lo[2] + ls[2]),
+        indexing="ij",
+    )
+    return exact_solution(tuple(idx), shape)
+
+
+def compute_reciprocals(u: np.ndarray):
+    """The §4.2 reciprocal arrays: rho_i, us, vs, ws, square, qs."""
+    rho_i = 1.0 / u[..., 0]
+    us = u[..., 1] * rho_i
+    vs = u[..., 2] * rho_i
+    ws = u[..., 3] * rho_i
+    square = 0.5 * (u[..., 1] * us + u[..., 2] * vs + u[..., 3] * ws)
+    qs = square * rho_i
+    return rho_i, us, vs, ws, square, qs
+
+
+def compute_rhs(
+    u: np.ndarray,
+    forcing: np.ndarray | None = None,
+    region: tuple[slice, slice, slice] | None = None,
+) -> np.ndarray:
+    """Right-hand side over *region* (default: 2 cells in from each face).
+
+    ``region`` slices index into u's local coordinates; every point of the
+    region must have 2 valid u layers on each side (the dissipation
+    stencil), which for parallel tiles means ghost width >= 2 on
+    distributed dimensions.  The reciprocal arrays are computed over the
+    whole local array — ghost layers included — which is exactly the §4.2
+    LOCALIZE partial replication (no communication for them, ever).
+    """
+    rho_i, us, vs, ws, square, qs = compute_reciprocals(u)
+    rhs = np.zeros_like(u)
+    fields = (rho_i, us, vs, ws, square, qs)
+    if region is None:
+        region = (slice(2, -2), slice(2, -2), slice(2, -2))
+    # normalize to concrete starts/stops
+    starts_stops = [s.indices(u.shape[d]) for d, s in enumerate(region)]
+
+    for axis in range(3):
+        um = np.moveaxis(u, axis, 0)
+        rm = np.moveaxis(rhs, axis, 0)
+        f = [np.moveaxis(a, axis, 0) for a in fields]
+        frho_i, fus, fvs, fws, fsquare, fqs = f
+        order = [axis] + [d for d in range(3) if d != axis]
+        rs = [starts_stops[d] for d in order]
+        (a0, b0, _), (a1, b1, _), (a2, b2, _) = rs
+
+        def sl(shift: int):
+            return (
+                slice(a0 + shift, b0 + shift),
+                slice(a1, b1),
+                slice(a2, b2),
+            )
+
+        c, p1, m1, p2, m2 = sl(0), sl(1), sl(-1), sl(2), sl(-2)
+        # second-difference convection-ish terms using the reciprocal arrays
+        rm[c + (1,)] += DTT2 * (fsquare[p1] - fsquare[m1]) * C2
+        rm[c + (2,)] += DTT2 * (fvs[p1] - fvs[m1])
+        rm[c + (3,)] += DTT2 * (fws[p1] - fws[m1])
+        rm[c + (4,)] += DTT2 * (fqs[p1] - fqs[m1] + frho_i[p1] - frho_i[m1])
+        # diffusion second difference on every component
+        rm[c] += DTT1 * (um[p1] - 2.0 * um[c] + um[m1])
+        # fourth-order dissipation (ghost width 2)
+        rm[c] -= DISS * (um[p2] - 4.0 * um[p1] + 6.0 * um[c] - 4.0 * um[m1] + um[m2])
+
+    if forcing is not None:
+        rhs[region] += forcing[region]
+    return rhs
+
+
+def add(u: np.ndarray, rhs: np.ndarray, region: tuple[slice, slice, slice] | None = None) -> None:
+    """Final update of a timestep: u += rhs on the interior / region."""
+    if region is None:
+        region = (slice(2, -2), slice(2, -2), slice(2, -2))
+    u[region] += rhs[region]
+
+
+# ---------------------------------------------------------------------------
+# SP: scalar pentadiagonal line solves
+# ---------------------------------------------------------------------------
+
+def sp_build_lhs(
+    u: np.ndarray, axis: int, variant: int = 0, glo: int = 0, gn: int | None = None
+) -> np.ndarray:
+    """Pentadiagonal bands (5, n_local, ...) for lines along *axis*.
+
+    ``variant`` 0/1/2 mirrors NAS's lhs / lhsp / lhsm (the three systems
+    solved per sweep).  Built from the reciprocal arrays at i-1 / i / i+1 —
+    the privatizable cv/rhoq pattern of Figure 4.1.
+
+    ``glo``/``gn`` position the local array in the global line: row r local
+    is row glo+r global; rows at global 0 / gn-1 are identity boundary
+    rows, rows interior to the *local* array get the stencil build, and the
+    extreme local rows (ghost edges without a u neighbor) are left zero —
+    their true values arrive via the pipelined write-back protocol.
+    """
+    rho_i, us, vs, ws, _sq, _qs = compute_reciprocals(u)
+    cv = (us, vs, ws)[axis]
+    cvm = np.moveaxis(cv, axis, 0)
+    rhom = np.moveaxis(rho_i, axis, 0)
+    n = cvm.shape[0]
+    if gn is None:
+        gn = n
+    shift = (variant - 1) * 0.01 if variant else 0.0
+
+    lhs = np.zeros((5,) + cvm.shape, dtype=np.float64)
+    i = slice(1, n - 1)
+    im1 = slice(0, n - 2)
+    ip1 = slice(2, n)
+    rhon = DTT1 * 2.0 + C1 * rhom
+    lhs[1][i] = -DTT2 * cvm[im1] - rhon[im1] * 0.1 + shift
+    lhs[2][i] = 1.0 + C2 * 2.0 * rhon[i] * 0.1
+    lhs[3][i] = DTT2 * cvm[ip1] - rhon[ip1] * 0.1 - shift
+    # dissipation widens to pentadiagonal on rows >= 2 from each global end
+    for r in range(1, n - 1):
+        g = glo + r
+        if 2 <= g <= gn - 3:
+            lhs[0][r] += DISS * 0.5
+            lhs[1][r] += -DISS * 2.0
+            lhs[2][r] += DISS * 3.0
+            lhs[3][r] += -DISS * 2.0
+            lhs[4][r] += DISS * 0.5
+    # global boundary rows: identity
+    if glo == 0:
+        lhs[0][0] = lhs[1][0] = lhs[3][0] = lhs[4][0] = 0.0
+        lhs[2][0] = 1.0
+    if glo + n == gn:
+        lhs[0][n - 1] = lhs[1][n - 1] = lhs[3][n - 1] = lhs[4][n - 1] = 0.0
+        lhs[2][n - 1] = 1.0
+    return lhs
+
+
+def sp_forward_step(lhs: np.ndarray, rhs: np.ndarray, i: int) -> None:
+    """One forward-elimination step at row *i* — updates rows i+1, i+2.
+
+    This is statement-for-statement the Figure 5.1 loop body, vectorized
+    over the orthogonal plane. ``rhs`` has the swept axis first and the
+    component axis last.
+    """
+    fac1 = 1.0 / lhs[2][i]
+    lhs[3][i] = fac1 * lhs[3][i]
+    lhs[4][i] = fac1 * lhs[4][i]
+    rhs[i] = fac1[..., None] * rhs[i]
+    lhs[2][i + 1] = lhs[2][i + 1] - lhs[1][i + 1] * lhs[3][i]
+    lhs[3][i + 1] = lhs[3][i + 1] - lhs[1][i + 1] * lhs[4][i]
+    rhs[i + 1] = rhs[i + 1] - (lhs[1][i + 1])[..., None] * rhs[i]
+    lhs[1][i + 2] = lhs[1][i + 2] - lhs[0][i + 2] * lhs[3][i]
+    lhs[2][i + 2] = lhs[2][i + 2] - lhs[0][i + 2] * lhs[4][i]
+    rhs[i + 2] = rhs[i + 2] - (lhs[0][i + 2])[..., None] * rhs[i]
+
+
+def sp_forward_finish(lhs: np.ndarray, rhs: np.ndarray) -> None:
+    """Eliminate the last two rows (the 2x2 tail system)."""
+    n = lhs.shape[1]
+    i = n - 2
+    fac1 = 1.0 / lhs[2][i]
+    lhs[3][i] = fac1 * lhs[3][i]
+    rhs[i] = fac1[..., None] * rhs[i]
+    lhs[2][i + 1] = lhs[2][i + 1] - lhs[1][i + 1] * lhs[3][i]
+    rhs[i + 1] = rhs[i + 1] - (lhs[1][i + 1])[..., None] * rhs[i]
+    fac2 = 1.0 / lhs[2][i + 1]
+    rhs[i + 1] = fac2[..., None] * rhs[i + 1]
+
+
+def sp_back_step(lhs: np.ndarray, rhs: np.ndarray, i: int) -> None:
+    """One back-substitution step at row *i* (needs rows i+1, i+2)."""
+    rhs[i] = rhs[i] - lhs[3][i][..., None] * rhs[i + 1] - lhs[4][i][..., None] * rhs[i + 2]
+
+
+def sp_solve_line_system(lhs: np.ndarray, rhs: np.ndarray) -> None:
+    """Full pentadiagonal solve along axis 0 of rhs (in place)."""
+    n = lhs.shape[1]
+    for i in range(0, n - 2):
+        sp_forward_step(lhs, rhs, i)
+    sp_forward_finish(lhs, rhs)
+    i = n - 2
+    rhs[i] = rhs[i] - lhs[3][i][..., None] * rhs[i + 1]
+    for i in range(n - 3, -1, -1):
+        sp_back_step(lhs, rhs, i)
+
+
+def sp_sweep(u: np.ndarray, rhs: np.ndarray, axis: int) -> None:
+    """One SP directional sweep: build the three systems and solve them."""
+    rm = np.moveaxis(rhs, axis, 0)
+    for variant, comps in ((0, slice(0, 3)), (1, slice(3, 4)), (2, slice(4, 5))):
+        lhs = sp_build_lhs(u, axis, variant)
+        sp_solve_line_system(lhs, rm[..., comps])
+
+
+# ---------------------------------------------------------------------------
+# BT: block tridiagonal 5x5 line solves
+# ---------------------------------------------------------------------------
+
+def bt_jacobian(uslab: np.ndarray) -> np.ndarray:
+    """Simplified flux Jacobian per grid point of a slab: (..., 5, 5).
+
+    Diagonally dominant by construction so forward elimination is stable.
+    """
+    shape = uslab.shape[:-1]
+    jac = np.zeros(shape + (NV, NV), dtype=np.float64)
+    rho_i = 1.0 / uslab[..., 0]
+    vel = uslab[..., 1:4] * rho_i[..., None]
+    for m in range(NV):
+        jac[..., m, m] = 0.1 + 0.05 * m
+    jac[..., 1, 0] = -C2 * vel[..., 0]
+    jac[..., 2, 0] = -C2 * vel[..., 1]
+    jac[..., 3, 0] = -C2 * vel[..., 2]
+    jac[..., 4, 1] = C1 * vel[..., 0]
+    jac[..., 4, 2] = C1 * vel[..., 1]
+    jac[..., 4, 3] = C1 * vel[..., 2]
+    jac[..., 0, 1] = 0.05
+    jac[..., 0, 2] = 0.05
+    jac[..., 0, 3] = 0.05
+    return jac
+
+
+def bt_build_blocks(u: np.ndarray, axis: int):
+    """A (sub), B (diag), C (super) block arrays for lines along *axis*.
+
+    Shapes: (n, ..., 5, 5) with the swept axis first.
+    """
+    um = np.moveaxis(u, axis, 0)
+    n = um.shape[0]
+    jac = bt_jacobian(um)
+    eye = np.eye(NV)
+    A = -DTT1 * jac[0 : n - 2] - DISS * eye  # coupling to i-1
+    C = -DTT1 * jac[2:n] - DISS * eye  # coupling to i+1
+    B = np.empty_like(jac[1 : n - 1])
+    B[:] = eye * (1.0 + 2.0 * DISS) + 2.0 * DTT1 * jac[1 : n - 1]
+    return A, B, C
+
+
+def bt_matvec_sub(ablock: np.ndarray, avec: np.ndarray, bvec: np.ndarray) -> None:
+    """bvec -= ablock @ avec (the paper's matvec_sub leaf routine)."""
+    bvec -= np.einsum("...qr,...r->...q", ablock, avec)
+
+
+def bt_matmul_sub(ablock: np.ndarray, bblock: np.ndarray, cblock: np.ndarray) -> None:
+    """cblock -= ablock @ bblock (matmul_sub)."""
+    cblock -= np.einsum("...qk,...kr->...qr", ablock, bblock)
+
+
+def bt_binvcrhs(bblock: np.ndarray, cblock: np.ndarray, rvec: np.ndarray) -> None:
+    """Solve bblock * (cblock', rvec') = (cblock, rvec) in place (binvcrhs)."""
+    inv = np.linalg.inv(bblock)
+    cblock[:] = np.einsum("...qk,...kr->...qr", inv, cblock)
+    rvec[:] = np.einsum("...qk,...k->...q", inv, rvec)
+
+
+def bt_solve_line_system(A: np.ndarray, B: np.ndarray, C: np.ndarray, rhs: np.ndarray) -> None:
+    """Block-tridiagonal solve along axis 0 of rhs (rows 1..n-2), in place.
+
+    Boundary rows 0 and n-1 are identity (rhs unchanged).  Statement
+    structure mirrors BT's x_solve_cell (Figure 6.1): matvec_sub /
+    matmul_sub / binvcrhs per interior point.
+    """
+    n = rhs.shape[0]
+    for i in range(1, n - 1):
+        k = i - 1  # index into A/B/C (which cover rows 1..n-2)
+        if i > 1:
+            bt_matvec_sub(A[k], rhs[i - 1], rhs[i])
+            bt_matmul_sub(A[k], C[k - 1], B[k])
+        bt_binvcrhs(B[k], C[k], rhs[i])
+    for i in range(n - 3, 0, -1):
+        k = i - 1
+        bt_matvec_sub(C[k], rhs[i + 1], rhs[i])
+
+
+def bt_sweep(u: np.ndarray, rhs: np.ndarray, axis: int) -> None:
+    """One BT directional sweep."""
+    rm = np.moveaxis(rhs, axis, 0)
+    A, B, C = bt_build_blocks(u, axis)
+    bt_solve_line_system(A, B.copy(), C.copy(), rm)

@@ -1,0 +1,60 @@
+"""NAS-style verification: reference residual values for the test problem.
+
+The real NPB suite ships per-class reference residuals and declares a run
+VERIFIED when the computed values match to a relative tolerance.  We do
+the same for the functional test problem (12^3 grid, 5 timesteps): the
+constants below were produced by the serial solvers and pin the numerics
+of every future change — solver, parallel schedule, or compiler — since
+all of those are required to match the serial results exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: (grid, steps) the reference values correspond to
+VERIFY_GRID = (12, 12, 12)
+VERIFY_STEPS = 5
+
+#: per-component RMS residuals after VERIFY_STEPS on VERIFY_GRID
+SP_REFERENCE_RESIDUALS = (
+    5.717226568764649e-05,
+    1.3459051643002634e-04,
+    1.936167397218951e-04,
+    1.4329131481784324e-04,
+    4.969266847073233e-05,
+)
+BT_REFERENCE_RESIDUALS = (
+    6.107534086572592e-05,
+    1.4115465438665418e-04,
+    2.0076324515777927e-04,
+    1.4853229316546857e-04,
+    5.362242307440975e-05,
+)
+
+#: sum(|u|) checksums after the same run
+SP_REFERENCE_CHECKSUM = 11170.863388391183
+BT_REFERENCE_CHECKSUM = 11170.999247798054
+
+EPSILON = 1e-8  # relative tolerance, as in NPB verification
+
+
+def verify(bench: str, residuals, checksum: float) -> bool:
+    """NPB-style verification of a (12^3, 5-step) run."""
+    ref = SP_REFERENCE_RESIDUALS if bench == "sp" else BT_REFERENCE_RESIDUALS
+    ref_ck = SP_REFERENCE_CHECKSUM if bench == "sp" else BT_REFERENCE_CHECKSUM
+    ok = all(
+        abs(r - e) <= EPSILON * max(abs(e), 1e-30)
+        for r, e in zip(residuals, ref)
+    )
+    return ok and abs(checksum - ref_ck) <= EPSILON * ref_ck
+
+
+def run_and_verify(bench: str) -> bool:
+    """Run the reference problem serially and verify it."""
+    from .bt import BTSolver
+    from .sp import SPSolver
+
+    solver = (SPSolver if bench == "sp" else BTSolver)(VERIFY_GRID)
+    solver.run(VERIFY_STEPS)
+    return verify(bench, solver.residual_norms(), solver.checksum())

@@ -1,0 +1,107 @@
+"""Unified entry point for the three parallel strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..runtime import Trace, VirtualMachine
+from ..runtime.model import MachineModel, TEST_MACHINE
+from .decomp import BlockDecomp2D
+from .dhpf import DhpfOptions, make_dhpf_node
+
+
+@dataclass
+class RunResult:
+    """Outcome of one parallel run on the virtual machine."""
+
+    bench: str
+    strategy: str
+    nprocs: int
+    shape: tuple[int, int, int]
+    niter: int
+    time: float  # virtual makespan (seconds)
+    trace: Optional[Trace]
+    u: Optional[np.ndarray] = None  # assembled global field (functional mode)
+    per_rank: list = field(default_factory=list)
+
+    @property
+    def checksum(self) -> Optional[float]:
+        if self.u is None:
+            return None
+        return float(np.sum(np.abs(self.u)))
+
+
+def _assemble(shape: tuple[int, int, int], results: list[dict]) -> np.ndarray:
+    from ..nas import ops
+
+    u = np.zeros(shape + (ops.NV,), dtype=np.float64)
+    for r in results:
+        own = r["u_own"]
+        lo = r["lo"]
+        u[
+            lo[0] : lo[0] + own.shape[0],
+            lo[1] : lo[1] + own.shape[1],
+            lo[2] : lo[2] + own.shape[2],
+        ] = own
+    return u
+
+
+def run_parallel(
+    bench: str,
+    strategy: str,
+    nprocs: int,
+    shape: tuple[int, int, int],
+    niter: int,
+    model: MachineModel = TEST_MACHINE,
+    functional: bool = False,
+    options: Any = None,
+    record_trace: bool = True,
+) -> RunResult:
+    """Run one (benchmark, strategy) configuration on the virtual machine.
+
+    bench: 'sp' | 'bt'; strategy: 'dhpf' | 'pgi' | 'handmpi'.
+    ``functional=True`` computes real numpy data (small grids; result
+    assembled into ``RunResult.u``); otherwise only the work model runs.
+    """
+    bench = bench.lower()
+    strategy = strategy.lower()
+    if bench not in ("sp", "bt"):
+        raise ValueError(f"unknown benchmark {bench!r}")
+
+    vm = VirtualMachine(nprocs, model, record_trace=record_trace)
+    if strategy == "dhpf":
+        from ..distrib.grid import ProcessorGrid
+
+        pgrid = ProcessorGrid.square_2d("procs", nprocs).shape
+        node, _ = make_dhpf_node(
+            bench, shape, niter, pgrid, options or DhpfOptions(), functional
+        )
+        results = vm.run(node)
+    elif strategy == "pgi":
+        from .pgi import PgiOptions, make_pgi_node
+
+        node, _ = make_pgi_node(
+            bench, shape, niter, nprocs, options or PgiOptions.for_bench(bench), functional
+        )
+        results = vm.run(node)
+    elif strategy == "handmpi":
+        from .handmpi import HandMpiOptions, make_handmpi_node
+
+        if functional:
+            raise ValueError(
+                "the multipartitioning baseline is schedule-modeled only "
+                "(see DESIGN.md substitutions); use functional=False"
+            )
+        node, _ = make_handmpi_node(
+            bench, shape, niter, nprocs, options or HandMpiOptions.for_bench(bench)
+        )
+        results = vm.run(node)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    time = max(r["t"] for r in results)
+    u = _assemble(shape, results) if functional and "u_own" in results[0] else None
+    return RunResult(bench, strategy, nprocs, shape, niter, time, vm.trace, u, results)

@@ -1,0 +1,48 @@
+"""Machine cost models for the virtual clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """LogGP-style postal cost model.
+
+    - ``flop_time``: seconds per (sustained) floating-point operation
+    - ``alpha``: message latency in seconds (includes both overheads)
+    - ``beta``: seconds per byte of message payload
+    - ``word_bytes``: bytes per array element (double precision)
+    """
+
+    name: str
+    flop_time: float
+    alpha: float
+    beta: float
+    word_bytes: int = 8
+
+    def msg_time(self, nbytes: int) -> float:
+        return self.alpha + self.beta * nbytes
+
+    def elems_time(self, nelems: int) -> float:
+        return self.msg_time(nelems * self.word_bytes)
+
+    def compute_time(self, flops: float) -> float:
+        return flops * self.flop_time
+
+
+#: The paper's platform: IBM SP2, 120 MHz P2SC "thin" nodes, IBM user-space
+#: MPI.  Peak is 480 MFLOPS/node; NAS-class codes sustain an order less.
+#: flop_time is calibrated so the hand-coded 4-proc Class A SP time matches
+#: the paper's 436 s (~55 sustained MFLOPS — consistent with published SP2
+#: NPB numbers); alpha/beta are the usual SP2 user-space MPI figures
+#: (~40 us latency, ~35 MB/s bandwidth).
+IBM_SP2 = MachineModel(
+    name="ibm-sp2-120MHz-p2sc",
+    flop_time=1.0 / 55e6,
+    alpha=40e-6,
+    beta=1.0 / 35e6,
+)
+
+#: A fast abstract machine for unit tests (negligible compute cost).
+TEST_MACHINE = MachineModel(name="test", flop_time=1e-9, alpha=1e-5, beta=1e-8)

@@ -1,0 +1,231 @@
+"""The virtual machine: per-rank threads, mailboxes, virtual clocks.
+
+Numerical execution is real (numpy on real data); *time* is simulated.
+Each rank has a private clock advanced by modeled compute and communication
+costs.  A receive completes at ``max(receiver_clock, sender_clock_at_send +
+alpha + beta*bytes)`` — so wait time (white space in the paper's space-time
+diagrams) appears whenever a processor out-runs its producer, exactly the
+pipeline-fill/drain behavior the paper analyzes.
+
+Timing is deterministic: message matching is FIFO per (src, dst, tag) in
+sender program order, and every clock update depends only on program order
+and the model, never on host thread scheduling.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from .model import MachineModel, TEST_MACHINE
+from .trace import Trace, TraceEvent
+
+
+class DeadlockError(RuntimeError):
+    """All ranks blocked in recv with no matching messages in flight."""
+
+
+@dataclass
+class Message:
+    src: int
+    dst: int
+    tag: int
+    payload: Any  # numpy array (functional mode) or None (work model)
+    nbytes: int
+    arrival: float  # virtual arrival time at the receiver
+
+
+class Rank:
+    """The per-rank API handed to node programs (mpi4py-flavored)."""
+
+    def __init__(self, vm: "VirtualMachine", rank: int):
+        self.vm = vm
+        self.rank = rank
+        self.size = vm.nprocs
+        self.t = 0.0
+        self.phase = ""
+        self._trace = vm.trace
+
+    # -- bookkeeping -----------------------------------------------------------
+    def set_phase(self, name: str) -> None:
+        """Label subsequent trace events with an application phase."""
+        self.phase = name
+
+    def _record(self, kind: str, t0: float, t1: float, peer: int | None = None, nbytes: int = 0) -> None:
+        if self._trace is not None:
+            self._trace.add(TraceEvent(self.rank, kind, t0, t1, peer, nbytes, self.phase))
+
+    # -- compute ------------------------------------------------------------------
+    def compute(self, flops: float) -> None:
+        """Advance the clock by modeled computation."""
+        if flops <= 0:
+            return
+        t0 = self.t
+        self.t += self.vm.model.compute_time(flops)
+        self._record("compute", t0, self.t)
+
+    def elapse(self, seconds: float) -> None:
+        """Advance the clock by a raw time amount (rarely needed)."""
+        if seconds > 0:
+            t0 = self.t
+            self.t += seconds
+            self._record("compute", t0, self.t)
+
+    # -- point-to-point ----------------------------------------------------------
+    def send(self, dst: int, data: Optional[np.ndarray] = None, tag: int = 0,
+             nelems: int | None = None) -> None:
+        """Non-blocking-style send: the sender pays only its overhead; the
+        payload arrives at ``t + alpha + beta*bytes``.  In work-model mode
+        pass ``nelems`` instead of data."""
+        if data is not None:
+            payload: Any = np.ascontiguousarray(data).copy()
+            nbytes = payload.nbytes
+        else:
+            if nelems is None:
+                raise ValueError("send needs data or nelems")
+            payload = None
+            nbytes = nelems * self.vm.model.word_bytes
+        t0 = self.t
+        # LogGP-style: the sender's NIC is occupied for the full payload
+        # (this is what serializes a node's outgoing all-to-all traffic),
+        # and the message lands after the wire latency on top of that.
+        self.t += self.vm.model.alpha / 2 + self.vm.model.beta * nbytes
+        arrival = t0 + self.vm.model.msg_time(nbytes)
+        self._record("send", t0, self.t, dst, nbytes)
+        self.vm._deliver(Message(self.rank, dst, tag, payload, nbytes, arrival))
+
+    isend = send  # alias: all sends are non-blocking in this model
+
+    def recv(self, src: int, tag: int = 0) -> Any:
+        """Blocking receive: returns the payload (or the byte count in
+        work-model mode) and advances the clock to the arrival time."""
+        msg = self.vm._take(self.rank, src, tag)
+        t0 = self.t
+        self.t = max(self.t + self.vm.model.alpha / 2, msg.arrival)
+        self._record("recv", t0, self.t, src, msg.nbytes)
+        return msg.payload if msg.payload is not None else msg.nbytes
+
+    # -- collectives (built on p2p; enough for the NAS codes) ------------------------
+    def barrier(self, tag: int = -1) -> None:
+        """Dissemination barrier."""
+        k = 1
+        while k < self.size:
+            self.send((self.rank + k) % self.size, nelems=0, tag=tag)
+            self.recv((self.rank - k) % self.size, tag=tag)
+            k *= 2
+
+    def allreduce_max(self, value: float, tag: int = -2) -> float:
+        k = 1
+        out = value
+        while k < self.size:
+            self.send((self.rank + k) % self.size, np.array([out]), tag=tag)
+            other = self.recv((self.rank - k) % self.size, tag=tag)
+            out = max(out, float(other[0]))
+            k *= 2
+        return out
+
+    def __repr__(self) -> str:
+        return f"<Rank {self.rank}/{self.size} t={self.t:.6f}>"
+
+
+class VirtualMachine:
+    """Runs one callable per rank on real threads with a virtual clock."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        model: MachineModel = TEST_MACHINE,
+        record_trace: bool = True,
+        recv_timeout: float = 120.0,
+    ):
+        if nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        self.nprocs = nprocs
+        self.model = model
+        self.trace: Optional[Trace] = Trace(nprocs) if record_trace else None
+        self.recv_timeout = recv_timeout
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._mail: dict[tuple[int, int, int], deque[Message]] = {}
+        self._waiting = 0
+        self._alive = 0
+        self._trace_lock = threading.Lock()
+        if self.trace is not None:
+            orig_add = self.trace.add
+
+            def locked_add(ev: TraceEvent) -> None:
+                with self._trace_lock:
+                    orig_add(ev)
+
+            self.trace.add = locked_add  # type: ignore[method-assign]
+
+    # -- messaging internals ------------------------------------------------------
+    def _deliver(self, msg: Message) -> None:
+        with self._cond:
+            self._mail.setdefault((msg.dst, msg.src, msg.tag), deque()).append(msg)
+            self._cond.notify_all()
+
+    def _take(self, dst: int, src: int, tag: int) -> Message:
+        key = (dst, src, tag)
+        with self._cond:
+            self._waiting += 1
+            try:
+                deadline = None
+                while not self._mail.get(key):
+                    if self._waiting >= self._alive and not any(self._mail.values()):
+                        raise DeadlockError(
+                            f"rank {dst} waiting for ({src}, tag {tag}) with all "
+                            f"{self._alive} live ranks blocked and no messages in flight"
+                        )
+                    if not self._cond.wait(timeout=self.recv_timeout):
+                        raise DeadlockError(
+                            f"rank {dst} timed out waiting for message from {src} tag {tag}"
+                        )
+                return self._mail[key].popleft()
+            finally:
+                self._waiting -= 1
+
+    # -- running --------------------------------------------------------------
+    def run(self, node_fn: Callable[[Rank], Any], ranks: Sequence[int] | None = None) -> list[Any]:
+        """Execute ``node_fn(rank)`` on every rank; returns per-rank results.
+
+        Any exception in a rank thread is re-raised in the caller (the
+        first one, by rank order).
+        """
+        ranks = list(ranks if ranks is not None else range(self.nprocs))
+        results: list[Any] = [None] * len(ranks)
+        errors: list[tuple[int, BaseException]] = []
+        threads = []
+        self._alive = len(ranks)
+
+        def runner(idx: int, r: int) -> None:
+            try:
+                results[idx] = node_fn(Rank(self, r))
+            except BaseException as exc:  # noqa: BLE001 - propagate everything
+                errors.append((r, exc))
+                with self._cond:
+                    self._cond.notify_all()
+            finally:
+                with self._cond:
+                    self._alive -= 1
+                    self._cond.notify_all()
+
+        for idx, r in enumerate(ranks):
+            t = threading.Thread(target=runner, args=(idx, r), daemon=True, name=f"rank-{r}")
+            threads.append(t)
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            errors.sort(key=lambda e: e[0])
+            raise errors[0][1]
+        return results
+
+    def makespan(self) -> float:
+        if self.trace is None:
+            raise RuntimeError("trace recording disabled")
+        return self.trace.makespan()

@@ -1,0 +1,84 @@
+"""Execution traces for space-time diagrams (paper Figures 8.1-8.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interval on a rank's timeline.
+
+    kind: 'compute' | 'send' | 'recv' | 'idle'.  ``peer`` is the other rank
+    for send/recv; ``phase`` is the application phase label active when the
+    event was recorded (e.g. 'y_solve').
+    """
+
+    rank: int
+    kind: str
+    t0: float
+    t1: float
+    peer: Optional[int] = None
+    nbytes: int = 0
+    phase: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class Trace:
+    """Per-rank event log of one VirtualMachine run."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self.events: list[TraceEvent] = []
+
+    def add(self, ev: TraceEvent) -> None:
+        self.events.append(ev)
+
+    def for_rank(self, rank: int) -> list[TraceEvent]:
+        return sorted(
+            (e for e in self.events if e.rank == rank), key=lambda e: e.t0
+        )
+
+    def messages(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "send"]
+
+    def makespan(self) -> float:
+        return max((e.t1 for e in self.events), default=0.0)
+
+    def busy_time(self, rank: int) -> float:
+        return sum(e.duration for e in self.for_rank(rank) if e.kind == "compute")
+
+    def idle_fraction(self, rank: int) -> float:
+        total = self.makespan()
+        if total <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy_time(rank) / total)
+
+    def phase_window(self, phase: str) -> tuple[float, float]:
+        evs = [e for e in self.events if e.phase == phase]
+        if not evs:
+            return (0.0, 0.0)
+        return (min(e.t0 for e in evs), max(e.t1 for e in evs))
+
+    def to_series(self) -> dict:
+        """JSON-serializable form (used by the figure harness)."""
+        return {
+            "nprocs": self.nprocs,
+            "makespan": self.makespan(),
+            "events": [
+                {
+                    "rank": e.rank,
+                    "kind": e.kind,
+                    "t0": e.t0,
+                    "t1": e.t1,
+                    "peer": e.peer,
+                    "nbytes": e.nbytes,
+                    "phase": e.phase,
+                }
+                for e in sorted(self.events, key=lambda e: (e.rank, e.t0))
+            ],
+        }

@@ -1,0 +1,68 @@
+"""Command-line entry point tests (python -m repro / python -m repro.eval)."""
+
+import pytest
+
+from repro.__main__ import main as compile_main
+from repro.eval.__main__ import main as eval_main
+from repro.nas import kernels
+
+
+@pytest.fixture()
+def lhsy_file(tmp_path):
+    f = tmp_path / "lhsy.f"
+    f.write_text(kernels.LHSY_SP)
+    return str(f)
+
+
+class TestCompileCLI:
+    def test_compile_report(self, lhsy_file, capsys):
+        rc = compile_main(["compile", lhsy_file, "--nprocs", "4", "--param", "n=17"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "grid (2, 2)" in out
+        assert "ON_HOME lhs(i,j+1,k,2)" in out
+        assert "[new]" in out
+        assert "none — every reference is local" in out
+
+    def test_emit_flag(self, lhsy_file, capsys):
+        rc = compile_main(
+            ["compile", lhsy_file, "--nprocs", "4", "--param", "n=17", "--emit"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "def node_program(rank, A, S, K):" in out
+
+    def test_unsupported_kernel_fails_cleanly(self, tmp_path, capsys):
+        f = tmp_path / "ys.f"
+        f.write_text(kernels.Y_SOLVE_SP)
+        rc = compile_main(
+            ["compile", str(f), "--nprocs", "4", "--param", "n=17", "--param", "m=0"]
+        )
+        assert rc == 1
+        assert "pipelined" in capsys.readouterr().err
+
+
+class TestEvalCLI:
+    def test_diffstats(self, capsys):
+        assert eval_main(["diffstats"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4.1" in out
+        assert "paper: SP 147/3152" in out
+
+    def test_figure(self, capsys):
+        assert eval_main(["figure-8.1", "--nprocs", "4", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8.1" in out
+        assert out.count("P") >= 4
+
+    def test_figure_json(self, capsys):
+        import json
+
+        assert eval_main(["figure-8.2", "--nprocs", "4", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["strategy"] == "dhpf"
+
+    def test_table_single_class(self, capsys):
+        assert eval_main(["table-8.1", "--classes", "A", "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Class A" in out and "E.dHPF" in out

@@ -1,0 +1,203 @@
+"""Edge-case coverage across modules (small behaviors with big blast radius)."""
+
+import pytest
+
+from repro.comm.events import CommEvent, Placement
+from repro.cp.select import CPSelector
+from repro.distrib import DistributionContext
+from repro.frontend import parse_subroutine
+from repro.isets import BasicSet, Constraint, ISet, box, empty
+from repro.isets.iset import _coalesce
+from repro.isets.terms import E
+from repro.runtime import Trace, VirtualMachine
+from repro.runtime.model import TEST_MACHINE
+from repro.runtime.trace import TraceEvent
+
+
+class TestISetEdges:
+    def test_close_params_bounds_by_context(self):
+        s = ISet.from_constraints(
+            ["a"],
+            [
+                Constraint.eq(E("a"), E("j") + 1),
+                Constraint.ge(E("j"), 0),
+                Constraint.le(E("j"), 4),
+            ],
+        )
+        closed = s.close_params()
+        assert closed.points() == {(k,) for k in range(1, 6)}
+
+    def test_close_params_noop_when_concrete(self):
+        s = box(["i"], [(0, 3)])
+        assert s.close_params().points({}) == s.points({})
+
+    def test_coalesce_drops_contained_disjuncts(self):
+        big = box(["i", "j"], [(0, 10), (0, 10)]).parts[0]
+        # a distinct coefficient vector, so the constraint set is a strict
+        # syntactic superset (the containment test is syntactic)
+        small = big.with_constraints([Constraint.le(E("i") + E("j"), 5)])
+        out = _coalesce([big, small])
+        assert out == [big]
+
+    def test_with_dims_positional_rename(self):
+        s = box(["i", "j"], [(0, 1), (2, 3)])
+        r = s.with_dims(["x", "y"])
+        assert r.points({}) == s.points({})
+        with pytest.raises(ValueError):
+            s.with_dims(["x"])
+
+    def test_rename_dims_keeps_constraints(self):
+        s = box(["i"], [(0, "n")])
+        r = s.rename_dims({"i": "k"})
+        assert r.dims == ("k",)
+        assert r.points({"n": 1}) == {(0,), (1,)}
+
+    def test_empty_difference(self):
+        a = empty(["i"])
+        b = box(["i"], [(0, 5)])
+        assert (a - b).is_empty()
+        assert (b - a).points({}) == b.points({})
+
+    def test_bool_protocol(self):
+        assert box(["i"], [(0, 0)])
+        assert not empty(["i"])
+
+    def test_sample_and_count(self):
+        bs = BasicSet(["i"], [Constraint.ge(E("i"), 3), Constraint.le(E("i"), 7)])
+        assert bs.sample() == (3,)
+        assert bs.count() == 5
+        emptybs = BasicSet(["i"], [Constraint.ge(E("i"), 7), Constraint.le(E("i"), 3)])
+        assert emptybs.sample() is None
+
+    def test_project_out_exists_only(self):
+        bs = BasicSet(
+            ["i"],
+            [Constraint.eq(E("i"), E("k") + 2), Constraint.ge(E("k"), 0), Constraint.le(E("k"), 3)],
+            exists=["k"],
+        )
+        flat = bs.eliminate_exists()
+        assert not flat.exists
+        assert set(flat.enumerate_points()) == {(2,), (3,), (4,), (5,)}
+
+
+class TestPlacementAndEvents:
+    def test_placement_flags(self):
+        assert Placement(0).hoisted and not Placement(0).pipelined
+        assert Placement(2).pipelined and not Placement(2).hoisted
+        assert str(Placement(0)) == "pre-nest"
+        assert "L2" in str(Placement(2))
+
+    def test_message_count_with_trips(self):
+        from repro.ir.expr import Num
+        from repro.ir.stmt import Assign, DoLoop
+        from repro.ir.expr import ArrayRef, Var
+
+        loop1 = DoLoop("k", Num(1), Num(4), [])
+        loop2 = DoLoop("j", Num(1), Num(3), [])
+        stmt = Assign(ArrayRef("a", (Var("j"),)), Num(1))
+        ev = CommEvent(
+            "a", "read", stmt, None, box(["a$0"], [(0, 1)]), Placement(2),
+            loops=(loop1, loop2),
+        )
+        trips = lambda l, b: 4 if l.var == "k" else 3
+        assert ev.message_count({}, trips) == 12
+        ev0 = CommEvent("a", "read", stmt, None, box(["a$0"], [(0, 1)]), Placement(0))
+        assert ev0.message_count({}, trips) == 1
+
+    def test_event_volume_binds(self):
+        from repro.ir.expr import ArrayRef, Num, Var
+        from repro.ir.stmt import Assign
+
+        stmt = Assign(ArrayRef("a", (Var("j"),)), Num(1))
+        ev = CommEvent("a", "read", stmt, None, box(["a$0"], [(0, "n")]), Placement(0))
+        assert ev.volume({"n": 4}) == 5
+
+
+class TestTraceEdges:
+    def test_phase_window(self):
+        t = Trace(2)
+        t.add(TraceEvent(0, "compute", 0.0, 1.0, phase="x_solve"))
+        t.add(TraceEvent(1, "compute", 0.5, 2.0, phase="x_solve"))
+        t.add(TraceEvent(0, "compute", 2.0, 3.0, phase="y_solve"))
+        assert t.phase_window("x_solve") == (0.0, 2.0)
+        assert t.phase_window("nothing") == (0.0, 0.0)
+
+    def test_to_series_sorted(self):
+        t = Trace(2)
+        t.add(TraceEvent(1, "compute", 0.0, 1.0))
+        t.add(TraceEvent(0, "compute", 0.5, 1.5))
+        doc = t.to_series()
+        assert doc["events"][0]["rank"] == 0
+
+    def test_idle_fraction_empty_trace(self):
+        t = Trace(1)
+        assert t.idle_fraction(0) == 0.0
+
+    def test_makespan_empty(self):
+        assert Trace(3).makespan() == 0.0
+
+
+class TestSelectorSampling:
+    def test_large_grid_samples_corners_and_center(self):
+        sub = parse_subroutine(
+            """
+      subroutine s(n)
+      integer n, i
+      parameter (nx = 255)
+      double precision a(0:nx)
+chpf$ processors p(64)
+chpf$ distribute a(block) onto p
+      do i = 1, n
+         a(i) = 1.0
+      enddo
+      end
+"""
+        )
+        ctx = DistributionContext(sub, nprocs=64, params={"n": 100})
+        sel = CPSelector(ctx, eval_params={"n": 100})
+        assert len(sel.sample_procs) == 3  # two corners + center for 1D
+        coords = {p["p$0"] for p in sel.sample_procs}
+        assert coords == {0, 63, 32}
+
+    def test_explicit_rep_proc(self):
+        sub = parse_subroutine(
+            """
+      subroutine s(n)
+      integer n, i
+      parameter (nx = 15)
+      double precision a(0:nx)
+chpf$ processors p(4)
+chpf$ distribute a(block) onto p
+      do i = 1, n
+         a(i) = 1.0
+      enddo
+      end
+"""
+        )
+        ctx = DistributionContext(sub, nprocs=4, params={"n": 10})
+        sel = CPSelector(ctx, eval_params={"n": 10}, rep_proc={"p$0": 2})
+        assert sel.sample_procs == [{"p$0": 2}]
+
+
+class TestRuntimeEdges:
+    def test_send_requires_payload_or_count(self):
+        def prog(rank):
+            if rank.rank == 0:
+                with pytest.raises(ValueError):
+                    rank.send(1)
+                rank.send(1, nelems=1)
+            else:
+                rank.recv(0)
+
+        VirtualMachine(2, TEST_MACHINE).run(prog)
+
+    def test_zero_nprocs_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(0, TEST_MACHINE)
+
+    def test_compute_negative_ignored(self):
+        def prog(rank):
+            rank.compute(-5)
+            return rank.t
+
+        assert VirtualMachine(1, TEST_MACHINE).run(prog) == [0.0]

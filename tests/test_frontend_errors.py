@@ -1,0 +1,93 @@
+"""Frontend error handling: messages carry positions, bad inputs rejected."""
+
+import pytest
+
+from repro.frontend import LexError, ParseError, parse_source, parse_subroutine
+
+
+class TestParseErrors:
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError, match=r"line 4"):
+            parse_subroutine(
+                "      subroutine s\n"
+                "      integer i\n"
+                "      i = 1\n"
+                "      i = + \n"
+                "      end\n"
+            )
+
+    def test_unclosed_do(self):
+        with pytest.raises(ParseError):
+            parse_subroutine(
+                "      subroutine s\n      integer i\n      do i = 1, 5\n      end\n"
+            )
+
+    def test_unclosed_if(self):
+        with pytest.raises(ParseError):
+            parse_subroutine(
+                "      subroutine s\n      integer i\n"
+                "      if (i > 0) then\n      i = 1\n      end\n"
+            )
+
+    def test_missing_loop_label(self):
+        with pytest.raises(ParseError, match="closing label"):
+            parse_subroutine(
+                "      subroutine s\n      integer i, c\n"
+                "      do 10 i = 1, 5\n      c = i\n      end\n"
+            )
+
+    def test_bad_distribution_format(self):
+        with pytest.raises(ParseError, match="unknown distribution format"):
+            parse_subroutine(
+                "      subroutine s\n      double precision a(8)\n"
+                "chpf$ distribute a(diagonal)\n      a(1) = 0.0\n      end\n"
+            )
+
+    def test_align_without_with(self):
+        with pytest.raises(ParseError, match="WITH"):
+            parse_subroutine(
+                "      subroutine s\n      double precision a(8)\n"
+                "chpf$ align a(i) onto t(i)\n      a(1) = 0.0\n      end\n"
+            )
+
+    def test_trailing_garbage_after_assignment(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_subroutine(
+                "      subroutine s\n      integer i\n      i = 1 2\n      end\n"
+            )
+
+    def test_directive_outside_unit(self):
+        with pytest.raises(ParseError, match="outside"):
+            parse_source("chpf$ independent\n      subroutine s\n      end\n")
+
+
+class TestLexErrors:
+    def test_bad_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            parse_subroutine("      subroutine s\n      integer i\n      i = 1 @ 2\n      end\n")
+
+
+class TestTolerantForms:
+    def test_end_subroutine_suffix(self):
+        sub = parse_subroutine(
+            "      subroutine s\n      integer i\n      i = 1\n      end subroutine\n"
+        )
+        assert sub.name == "s"
+
+    def test_blank_common(self):
+        sub = parse_subroutine(
+            "      subroutine s\n      common x\n      double precision x\n      x = 1.0\n      end\n"
+        )
+        assert sub.symbols.lookup("x").common == "_blank"
+
+    def test_integer_star_width(self):
+        sub = parse_subroutine(
+            "      subroutine s\n      integer*8 i\n      i = 1\n      end\n"
+        )
+        assert sub.symbols.lookup("i") is not None
+
+    def test_double_colon_entity_list(self):
+        sub = parse_subroutine(
+            "      subroutine s\n      integer :: i, j\n      i = 1\n      end\n"
+        )
+        assert sub.symbols.lookup("j") is not None

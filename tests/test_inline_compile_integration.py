@@ -1,0 +1,88 @@
+"""Fig 6.1 end to end by a different road: inline the leaf routines, then
+compile — the result must equal interpreting the original call-based code.
+
+(The interprocedural CP analysis handles the call-based form, §6; inlining
+gives the code generator a call-free kernel to execute, which doubles as a
+cross-check of both transformations.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_kernel
+from repro.frontend import parse_source
+from repro.ir.interp import FortranArray, Interpreter
+from repro.nas import kernels
+from repro.transform import inline_calls
+
+N = 13
+SCAL = {"n": N}
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Interpret the ORIGINAL (call-based) x_solve_cell."""
+    rng = np.random.default_rng(11)
+    # NAS layout: lhs(5,5,3,i,j,k) — block dims first so each 5x5 block is
+    # contiguous in Fortran order (sequence association relies on this)
+    lhs0 = rng.random((5, 5, 3, N, N, N)) * 0.05
+    for q in range(5):
+        lhs0[q, q, 1] += 2.0  # diagonally dominant B blocks (third index 2)
+    rhs0 = rng.random((5, N, N, N))
+
+    prog = parse_source(kernels.BT_SOLVE_CELL)
+    lhs = FortranArray((5, 5, 3, N, N, N), (1, 1, 1, 0, 0, 0))
+    rhs = FortranArray((5, N, N, N), (1, 0, 0, 0))
+    lhs.data[:] = lhs0
+    rhs.data[:] = rhs0
+    Interpreter(prog, params=SCAL).run(
+        "x_solve_cell", args={"lhs": lhs, "rhs": rhs}, scalars=SCAL
+    )
+    return lhs0, rhs0, lhs, rhs
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    prog = parse_source(kernels.BT_SOLVE_CELL)
+    for leaf in ("matvec_sub", "matmul_sub", "binvcrhs"):
+        assert inline_calls(prog, "x_solve_cell", leaf) == 1
+    return compile_kernel(prog.get("x_solve_cell"), nprocs=4, params=SCAL)
+
+
+class TestInlineThenCompile:
+    def test_no_communication(self, compiled):
+        """The sweep runs along the undistributed x dimension — fully local
+        per (j,k) block, exactly what §6's ON_HOME rhs(1,i,j,k) implies."""
+        for _, plan in compiled.nest_plans:
+            assert not plan.live_events()
+
+    def test_inlined_interpretation_matches_call_based(self, reference):
+        lhs0, rhs0, _, rhs_ref = reference
+        prog = parse_source(kernels.BT_SOLVE_CELL)
+        for leaf in ("matvec_sub", "matmul_sub", "binvcrhs"):
+            inline_calls(prog, "x_solve_cell", leaf)
+        lhs = FortranArray((5, 5, 3, N, N, N), (1, 1, 1, 0, 0, 0))
+        rhs = FortranArray((5, N, N, N), (1, 0, 0, 0))
+        lhs.data[:] = lhs0
+        rhs.data[:] = rhs0
+        Interpreter(prog, params=SCAL).run(
+            "x_solve_cell", args={"lhs": lhs, "rhs": rhs}, scalars=SCAL
+        )
+        assert np.allclose(rhs.data, rhs_ref.data, atol=1e-12)
+
+    def test_spmd_owned_regions_match(self, reference, compiled):
+        lhs0, rhs0, _, rhs_ref = reference
+
+        def init(rank_id, arrays):
+            arrays["lhs"].data[:] = lhs0
+            arrays["rhs"].data[:] = rhs0
+
+        results = compiled.run(SCAL, init=init)
+        for rank_id, arrays in enumerate(results):
+            coords = compiled.grid.delinearize(rank_id)
+            pts = compiled.ctx.owned_elements("rhs", coords)
+            assert pts
+            for e in pts:
+                assert arrays["rhs"].get(e) == pytest.approx(
+                    rhs_ref.get(e), abs=1e-12
+                )

@@ -1,0 +1,154 @@
+"""Functional equivalence: parallel strategies == serial solver, bitwise.
+
+The strongest correctness statement in the repository: the dHPF-style
+(2D-block pipelined) and PGI-style (1D-block + transpose) node programs
+produce *exactly* the serial solver's floating-point results, for SP and
+BT, across processor grids and pipelining granularities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nas import BTSolver, SPSolver
+from repro.parallel import run_parallel
+from repro.parallel.dhpf import DhpfOptions
+from repro.runtime.model import IBM_SP2, TEST_MACHINE
+
+SHAPE = (12, 12, 12)
+NITER = 2
+
+
+@pytest.fixture(scope="module")
+def serial_sp():
+    s = SPSolver(SHAPE)
+    s.run(NITER)
+    return s
+
+
+@pytest.fixture(scope="module")
+def serial_bt():
+    s = BTSolver(SHAPE)
+    s.run(NITER)
+    return s
+
+
+class TestDhpfFunctional:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 9])
+    def test_sp_equals_serial(self, serial_sp, nprocs):
+        r = run_parallel("sp", "dhpf", nprocs, SHAPE, NITER, TEST_MACHINE, functional=True)
+        assert np.array_equal(r.u, serial_sp.u)
+
+    @pytest.mark.parametrize("nprocs", [2, 4, 9])
+    def test_bt_equals_serial(self, serial_bt, nprocs):
+        r = run_parallel("bt", "dhpf", nprocs, SHAPE, NITER, TEST_MACHINE, functional=True)
+        assert np.array_equal(r.u, serial_bt.u)
+
+    @pytest.mark.parametrize("granularity", [0, 2, 4, 12])
+    def test_sp_granularity_invariant(self, serial_sp, granularity):
+        """Coarse-grain pipelining granularity must not change results."""
+        r = run_parallel(
+            "sp", "dhpf", 4, SHAPE, NITER, TEST_MACHINE, functional=True,
+            options=DhpfOptions(granularity=granularity),
+        )
+        assert np.array_equal(r.u, serial_sp.u)
+
+    def test_availability_toggle_numerically_neutral(self, serial_sp):
+        """§7 elimination changes timing, never values."""
+        r = run_parallel(
+            "sp", "dhpf", 4, SHAPE, NITER, TEST_MACHINE, functional=True,
+            options=DhpfOptions(availability=False),
+        )
+        assert np.array_equal(r.u, serial_sp.u)
+
+    def test_localize_toggle_numerically_neutral(self, serial_sp):
+        r = run_parallel(
+            "sp", "dhpf", 4, SHAPE, NITER, TEST_MACHINE, functional=True,
+            options=DhpfOptions(localize=False),
+        )
+        assert np.array_equal(r.u, serial_sp.u)
+
+    def test_tiny_tile_rejected(self):
+        with pytest.raises(ValueError, match="owned planes"):
+            run_parallel("sp", "dhpf", 36, SHAPE, 1, TEST_MACHINE, functional=True)
+
+
+class TestPgiFunctional:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4])
+    def test_sp_equals_serial(self, serial_sp, nprocs):
+        r = run_parallel("sp", "pgi", nprocs, SHAPE, NITER, TEST_MACHINE, functional=True)
+        assert np.array_equal(r.u, serial_sp.u)
+
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    def test_bt_equals_serial(self, serial_bt, nprocs):
+        r = run_parallel("bt", "pgi", nprocs, SHAPE, NITER, TEST_MACHINE, functional=True)
+        assert np.array_equal(r.u, serial_bt.u)
+
+
+class TestHandMpiModel:
+    def test_functional_mode_rejected(self):
+        with pytest.raises(ValueError, match="schedule-modeled"):
+            run_parallel("sp", "handmpi", 4, SHAPE, 1, TEST_MACHINE, functional=True)
+
+    def test_square_counts_only(self):
+        with pytest.raises(ValueError, match="square"):
+            run_parallel("sp", "handmpi", 8, (64, 64, 64), 1, TEST_MACHINE)
+
+    @pytest.mark.parametrize("nprocs", [4, 9, 16])
+    def test_load_balance_in_trace(self, nprocs):
+        r = run_parallel("sp", "handmpi", nprocs, (64, 64, 64), 1, IBM_SP2)
+        busy = [r.trace.busy_time(k) for k in range(nprocs)]
+        assert max(busy) / min(busy) < 1.05  # near-perfect balance
+
+    def test_low_idle_vs_dhpf(self):
+        """The paper's Figures 8.1 vs 8.2: multipartitioning idles far less
+        than the pipelined block code."""
+        hand = run_parallel("sp", "handmpi", 16, (64, 64, 64), 1, IBM_SP2)
+        dhpf = run_parallel("sp", "dhpf", 16, (64, 64, 64), 1, IBM_SP2)
+        hand_idle = np.mean([hand.trace.idle_fraction(k) for k in range(16)])
+        dhpf_idle = np.mean([dhpf.trace.idle_fraction(k) for k in range(16)])
+        assert hand_idle < dhpf_idle
+
+
+class TestTimingModelShape:
+    """The paper's headline comparisons (Class A, scaled iterations)."""
+
+    @pytest.fixture(scope="class")
+    def times(self):
+        out = {}
+        for bench in ("sp", "bt"):
+            for P in (4, 16, 25):
+                for strat in ("handmpi", "dhpf", "pgi"):
+                    r = run_parallel(bench, strat, P, (64, 64, 64), 2, IBM_SP2,
+                                     functional=False, record_trace=False)
+                    out[(bench, strat, P)] = r.time
+        return out
+
+    def test_sp_ordering_hand_dhpf_pgi(self, times):
+        for P in (4, 16, 25):
+            assert times[("sp", "handmpi", P)] < times[("sp", "dhpf", P)]
+            assert times[("sp", "dhpf", P)] < times[("sp", "pgi", P)]
+
+    def test_sp_dhpf_within_paper_band_at_25(self, times):
+        """Headline claim: dHPF within ~33% of hand-written SP at 25 procs
+        was 'within 33%' measured as time ratio 149/88 = 1.69; allow a
+        generous band around that shape."""
+        ratio = times[("sp", "dhpf", 25)] / times[("sp", "handmpi", 25)]
+        assert 1.2 < ratio < 2.0
+
+    def test_bt_dhpf_within_paper_band_at_25(self, times):
+        """BT headline: within 15% at 25 procs (paper ratio 143/117=1.22)."""
+        ratio = times[("bt", "dhpf", 25)] / times[("bt", "handmpi", 25)]
+        assert 1.0 < ratio < 1.4
+
+    def test_bt_compiled_beats_hand_at_small_p(self, times):
+        """Table 8.2's surprise: compiled codes beat hand-coded BT at P=4."""
+        assert times[("bt", "dhpf", 4)] < times[("bt", "handmpi", 4)]
+        assert times[("bt", "pgi", 4)] < times[("bt", "handmpi", 4)]
+
+    def test_bt_hand_overtakes_by_25(self, times):
+        assert times[("bt", "handmpi", 25)] < times[("bt", "dhpf", 25)]
+
+    def test_everything_scales_down_with_procs(self, times):
+        for bench in ("sp", "bt"):
+            for strat in ("handmpi", "dhpf", "pgi"):
+                assert times[(bench, strat, 25)] < times[(bench, strat, 4)]

@@ -1,0 +1,166 @@
+"""Reduction recognition tests (the NAS error/rhs-norm loop pattern)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reduction import find_reductions, parallel_with_reductions
+from repro.frontend import parse_subroutine
+from repro.runtime import VirtualMachine
+from repro.runtime.model import TEST_MACHINE
+
+
+def loop_of(src):
+    return parse_subroutine(src).body[0]
+
+
+class TestRecognition:
+    def test_sum_reduction(self):
+        loop = loop_of(
+            """
+      subroutine s(n)
+      integer n, i
+      double precision a(0:100), acc
+      do i = 1, n
+         acc = acc + a(i)*a(i)
+      enddo
+      end
+"""
+        )
+        (r,) = find_reductions(loop)
+        assert r.var == "acc" and r.op == "+"
+
+    def test_norm_loop_like_nas(self):
+        """The NAS rms loop: add of a squared difference, nested."""
+        loop = loop_of(
+            """
+      subroutine s(n)
+      integer n, i, j
+      double precision rhs(0:40, 0:40), rms
+      do j = 1, n
+         do i = 1, n
+            rms = rms + rhs(i, j)*rhs(i, j)
+         enddo
+      enddo
+      end
+"""
+        )
+        parallel, reds = parallel_with_reductions(loop, {"n": 8})
+        assert parallel
+        assert reds and reds[0].op == "+"
+
+    def test_max_reduction(self):
+        loop = loop_of(
+            """
+      subroutine s(n)
+      integer n, i
+      double precision a(0:100), big
+      do i = 1, n
+         big = dmax1(big, a(i))
+      enddo
+      end
+"""
+        )
+        (r,) = find_reductions(loop)
+        assert r.op == "max"
+
+    def test_product_spine(self):
+        loop = loop_of(
+            """
+      subroutine s(n)
+      integer n, i
+      double precision a(0:100), p
+      do i = 1, n
+         p = p * a(i)
+      enddo
+      end
+"""
+        )
+        (r,) = find_reductions(loop)
+        assert r.op == "*"
+
+    def test_accumulator_read_elsewhere_rejected(self):
+        loop = loop_of(
+            """
+      subroutine s(n)
+      integer n, i
+      double precision a(0:100), acc
+      do i = 1, n
+         acc = acc + a(i)
+         a(i) = acc
+      enddo
+      end
+"""
+        )
+        assert find_reductions(loop) == []
+
+    def test_non_ac_shape_rejected(self):
+        loop = loop_of(
+            """
+      subroutine s(n)
+      integer n, i
+      double precision a(0:100), acc
+      do i = 1, n
+         acc = acc - a(i)
+      enddo
+      end
+"""
+        )
+        assert find_reductions(loop) == []
+
+    def test_accumulator_on_right_of_minus_rejected(self):
+        loop = loop_of(
+            """
+      subroutine s(n)
+      integer n, i
+      double precision a(0:100), acc
+      do i = 1, n
+         acc = a(i) + (1.0 - acc)
+      enddo
+      end
+"""
+        )
+        assert find_reductions(loop) == []
+
+    def test_genuinely_serial_loop(self):
+        loop = loop_of(
+            """
+      subroutine s(n)
+      integer n, i
+      double precision a(0:101), acc
+      do i = 1, n
+         acc = acc + a(i)
+         a(i) = a(i-1) * 2.0
+      enddo
+      end
+"""
+        )
+        parallel, reds = parallel_with_reductions(loop, {"n": 8})
+        assert reds  # the reduction is still recognized
+        assert not parallel  # but the a(i-1) recurrence keeps it serial
+
+
+class TestParallelCombine:
+    def test_partial_sums_plus_allreduce_match_serial(self):
+        """Execute the recognized reduction the dHPF way on the VM: private
+        partials over block-split iterations, then a combining step."""
+        n = 64
+        rng = np.random.default_rng(2)
+        data = rng.random(n)
+        serial = float(np.sum(data * data))
+
+        def node(rank):
+            lo = rank.rank * (n // rank.size)
+            hi = lo + (n // rank.size)
+            acc = float(np.sum(data[lo:hi] * data[lo:hi]))
+            # combine: recursive-doubling allreduce (send the running total)
+            total = acc
+            k = 1
+            while k < rank.size:
+                rank.send((rank.rank + k) % rank.size, np.array([total]), tag=k)
+                total += float(rank.recv((rank.rank - k) % rank.size, tag=k)[0])
+                k *= 2
+            return total
+
+        # power-of-two sizes so the dissemination pattern sums each partial once
+        results = VirtualMachine(4, TEST_MACHINE).run(node)
+        assert all(abs(r - serial) < 1e-9 for r in results)

@@ -1,0 +1,82 @@
+"""The shared-memory code-generation target (§2's second back end)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_kernel
+from repro.frontend import parse_source
+from repro.ir.interp import Interpreter
+from repro.nas import kernels
+
+LHSY_SCALARS = {"n": 17, "c2": 0.5, "dy3": 0.1, "c1c5": 0.2, "dtty1": 0.3, "dtty2": 0.4}
+
+
+@pytest.fixture(scope="module")
+def lhsy_kernel():
+    return compile_kernel(kernels.LHSY_SP, nprocs=4, params={"n": 17})
+
+
+@pytest.fixture(scope="module")
+def lhsy_serial():
+    prog = parse_source(kernels.LHSY_SP)
+    return Interpreter(prog, params={"n": 17}).run("lhsy", scalars=LHSY_SCALARS).lookup("lhs")
+
+
+class TestShmemSource:
+    def test_barriers_replace_messages(self, lhsy_kernel):
+        mpi = lhsy_kernel.python_source("mpi")
+        shm = lhsy_kernel.python_source("shmem")
+        assert "exec_comm" in mpi and "barrier" not in mpi
+        assert "rank.barrier" in shm and "exec_comm" not in shm
+        compile(shm, "<check>", "exec")
+
+    def test_unknown_target_rejected(self, lhsy_kernel):
+        with pytest.raises(ValueError, match="target"):
+            lhsy_kernel.python_source("pvm")
+
+    def test_new_arrays_recorded_private(self, lhsy_kernel):
+        assert lhsy_kernel.private_arrays == {"cv", "rhoq"}
+
+
+class TestShmemExecution:
+    def test_lhsy_matches_serial(self, lhsy_kernel, lhsy_serial):
+        A = lhsy_kernel.run_shmem(LHSY_SCALARS)
+        for rid in range(4):
+            coords = lhsy_kernel.grid.delinearize(rid)
+            for e in lhsy_kernel.ctx.owned_elements("lhs", coords):
+                assert A["lhs"].get(e) == pytest.approx(lhsy_serial.get(e), abs=1e-13)
+
+    def test_compute_rhs_localize_matches_serial(self):
+        """The LOCALIZE kernel under shmem: barriers order the producer
+        nest before the consumers; no messages at all."""
+        from repro.ir.interp import FortranArray
+
+        ck = compile_kernel(kernels.COMPUTE_RHS_BT, nprocs=8, params={"n": 13})
+        rng = np.random.default_rng(3)
+        u0 = rng.random((13, 13, 13, 5)) + 1.0
+        rhs0 = rng.random((13, 13, 13, 5))
+
+        prog = parse_source(kernels.COMPUTE_RHS_BT)
+        u_s = FortranArray((13, 13, 13, 5), (0, 0, 0, 1))
+        rhs_s = FortranArray((13, 13, 13, 5), (0, 0, 0, 1))
+        u_s.data[:] = u0
+        rhs_s.data[:] = rhs0
+        Interpreter(prog, params={"n": 13}).run(
+            "compute_rhs", args={"u": u_s, "rhs": rhs_s},
+            scalars={"n": 13, "c1": 0.3, "c2": 0.2},
+        )
+
+        def init(arrays):
+            arrays["u"].data[:] = u0
+            arrays["rhs"].data[:] = rhs0
+
+        A = ck.run_shmem({"n": 13, "c1": 0.3, "c2": 0.2}, init=init)
+        assert np.allclose(A["rhs"].data, rhs_s.data, atol=1e-13)
+
+    def test_both_targets_agree(self, lhsy_kernel):
+        shm = lhsy_kernel.run_shmem(LHSY_SCALARS)
+        mpi_results = lhsy_kernel.run(LHSY_SCALARS)
+        for rid, rank_arrays in enumerate(mpi_results):
+            coords = lhsy_kernel.grid.delinearize(rid)
+            for e in lhsy_kernel.ctx.owned_elements("lhs", coords):
+                assert rank_arrays["lhs"].get(e) == shm["lhs"].get(e)

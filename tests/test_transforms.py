@@ -1,0 +1,196 @@
+"""Inlining and loop-interchange transformation tests (§8.1 prep steps)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import parse_source, parse_subroutine
+from repro.ir import Assign, CallStmt, DoLoop, walk_stmts
+from repro.ir.interp import FortranArray, Interpreter
+from repro.transform import (
+    InlineError,
+    InterchangeError,
+    can_interchange,
+    inline_calls,
+    interchange,
+)
+
+INLINE_SRC = """
+      subroutine exact_solution(xi, eta, dtemp)
+      double precision xi, eta, dtemp(5)
+      integer m
+      do m = 1, 5
+         dtemp(m) = xi*2.0d0 + eta*m
+      enddo
+      end
+
+      subroutine exact_rhs(n)
+      integer n, i, j, m
+      double precision ue(0:20, 5), dtemp(5)
+      do j = 0, n - 1
+         do i = 0, n - 1
+            call exact_solution(i*0.1d0, j*0.1d0, dtemp)
+            do m = 1, 5
+               ue(i, m) = dtemp(m)
+            enddo
+         enddo
+      enddo
+      end
+"""
+
+
+class TestInlining:
+    def _both_results(self, src, caller, callee, scalars):
+        """Interpret original and inlined versions; return both frames."""
+        p1 = parse_source(src)
+        f1 = Interpreter(p1).run(caller, scalars=dict(scalars))
+        p2 = parse_source(src)
+        n = inline_calls(p2, caller, callee)
+        assert n > 0
+        assert not [s for s in p2.get(caller).statements() if isinstance(s, CallStmt)]
+        f2 = Interpreter(p2).run(caller, scalars=dict(scalars))
+        return f1, f2
+
+    def test_exact_solution_semantics_preserved(self):
+        f1, f2 = self._both_results(INLINE_SRC, "exact_rhs", "exact_solution", {"n": 6})
+        assert np.array_equal(f1.lookup("ue").data, f2.lookup("ue").data)
+
+    def test_local_renamed(self):
+        prog = parse_source(INLINE_SRC)
+        inline_calls(prog, "exact_rhs", "exact_solution")
+        caller = prog.get("exact_rhs")
+        # the callee's loop variable m collides with the caller's m: the
+        # inlined copy must use a renamed variable
+        loops = [s for s in walk_stmts(caller.body) if isinstance(s, DoLoop)]
+        mvars = [l.var for l in loops if l.var.startswith("m")]
+        assert any(v != "m" for v in mvars)
+
+    def test_anchor_sequence_association(self):
+        src = """
+      subroutine fill(w)
+      double precision w(3)
+      integer q
+      do q = 1, 3
+         w(q) = q*10.0d0
+      enddo
+      end
+
+      subroutine top
+      double precision big(10)
+      integer q
+      do q = 1, 10
+         big(q) = 0.0d0
+      enddo
+      call fill(big(4))
+      end
+"""
+        f1, f2 = self._both_results(src, "top", "fill", {})
+        assert np.array_equal(f1.lookup("big").data, f2.lookup("big").data)
+        assert f2.lookup("big").get((4,)) == 10.0
+
+    def test_scalar_expression_substitution(self):
+        src = """
+      subroutine addc(x, c)
+      double precision x, c
+      x = x + c
+      end
+
+      subroutine top
+      double precision v
+      v = 1.0d0
+      call addc(v, 2.0d0 * 3.0d0)
+      end
+"""
+        f1, f2 = self._both_results(src, "top", "addc", {})
+        assert f1.lookup("v") == f2.lookup("v") == 7.0
+
+    def test_assigned_scalar_needs_variable(self):
+        src = """
+      subroutine setx(x)
+      double precision x
+      x = 1.0d0
+      end
+
+      subroutine top
+      call setx(2.0d0 + 1.0d0)
+      end
+"""
+        prog = parse_source(src)
+        with pytest.raises(InlineError, match="needs a variable"):
+            inline_calls(prog, "top", "setx")
+
+
+class TestInterchange:
+    def _nest(self, body_line, bounds=("1, n", "1, n")):
+        return parse_subroutine(
+            f"""
+      subroutine s(n)
+      integer n, i, j
+      double precision a(0:40, 0:40)
+      do i = {bounds[0]}
+         do j = {bounds[1]}
+            {body_line}
+         enddo
+      enddo
+      end
+"""
+        ).body[0]
+
+    def test_legal_interchange(self):
+        loop = self._nest("a(i, j) = a(i, j) + 1.0d0")
+        assert can_interchange(loop, {"n": 8})
+        new = interchange(loop, {"n": 8})
+        assert new.var == "j"
+        assert new.body[0].var == "i"
+
+    def test_illegal_interchange_detected(self):
+        # dependence with direction (<, >): a(i,j) depends on a(i-1,j+1)
+        loop = self._nest("a(i, j) = a(i - 1, j + 1) + 1.0d0", ("1, n", "1, n"))
+        assert not can_interchange(loop, {"n": 8})
+        with pytest.raises(InterchangeError):
+            interchange(loop, {"n": 8})
+
+    def test_interchange_preserves_semantics(self):
+        src = """
+      subroutine s(n)
+      integer n, i, j
+      double precision a(0:40, 0:40)
+      do i = 1, n
+         do j = 1, n
+            a(i, j) = a(i - 1, j) + i + j * 2
+         enddo
+      enddo
+      end
+"""
+        p1 = parse_subroutine(src)
+        prog1 = parse_source(src)
+        f1 = Interpreter(prog1).run("s", scalars={"n": 10})
+
+        prog2 = parse_source(src)
+        sub2 = prog2.get("s")
+        assert can_interchange(sub2.body[0], {"n": 10})
+        sub2.body[0] = interchange(sub2.body[0], {"n": 10})
+        f2 = Interpreter(prog2).run("s", scalars={"n": 10})
+        assert np.array_equal(f1.lookup("a").data, f2.lookup("a").data)
+
+    def test_imperfect_nest_rejected(self):
+        sub = parse_subroutine(
+            """
+      subroutine s(n)
+      integer n, i, j
+      double precision a(0:40, 0:40), x
+      do i = 1, n
+         x = i * 1.0d0
+         do j = 1, n
+            a(i, j) = x
+         enddo
+      enddo
+      end
+"""
+        )
+        with pytest.raises(InterchangeError, match="perfectly nested"):
+            interchange(sub.body[0], {"n": 8})
+
+    def test_triangular_nest_rejected(self):
+        loop = self._nest("a(i, j) = 1.0d0", ("1, n", "i, n"))
+        with pytest.raises(InterchangeError):
+            interchange(loop, {"n": 8}, check=False)
