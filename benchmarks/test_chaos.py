@@ -1,0 +1,82 @@
+"""Chaos harness benchmarks: completion, recovery cost, resilience overhead.
+
+Sweeps message drop rates and crash times over the class-S functional
+problem (the same configuration ``python -m repro.eval chaos`` prints) and
+pins the *shape* of the results: everything completes and verifies, fault
+overheads are non-negative, and more injected loss never makes the virtual
+machine faster.
+"""
+
+import pytest
+
+from repro.eval.chaos import crash_sweep, drop_sweep, format_chaos, run_chaos
+from repro.runtime.faults import FaultPlan
+from repro.runtime.model import IBM_SP2
+
+
+DROP_RATES = (0.0, 0.05, 0.1, 0.25)
+
+
+@pytest.fixture(scope="module")
+def drop_results():
+    return drop_sweep(DROP_RATES, seed=1)
+
+
+class TestDropSweep:
+    def test_all_complete_and_verify(self, drop_results):
+        for r in drop_results:
+            assert r.completed, f"drop={r.drop_rate} did not complete"
+            assert r.verified, f"drop={r.drop_rate} failed NPB verification"
+            assert r.attempts == 1  # message loss alone never needs a restart
+
+    def test_overhead_nonnegative_and_monotone(self, drop_results):
+        times = [r.virtual_time for r in drop_results]
+        assert times == sorted(times)  # same seed: drops are nested by rate
+        assert drop_results[0].overhead == pytest.approx(0.0)
+        assert drop_results[-1].overhead > 0.0
+
+    def test_format_table(self, drop_results):
+        out = format_chaos(drop_results)
+        assert "overhead" in out and "0.25" in out
+
+
+class TestCrashRecovery:
+    @pytest.fixture(scope="class")
+    def crash_results(self):
+        return crash_sweep((0.25, 0.5, 0.75), seed=1)
+
+    def test_every_crash_recovers_and_verifies(self, crash_results):
+        for r in crash_results:
+            assert r.completed and r.verified
+            assert r.attempts == 2  # one crash, one successful restart
+            assert len(r.crash_times) == 1
+
+    def test_recovery_cost_tracks_crash_time(self, crash_results):
+        """Crashing later loses more in-flight work (interval-1 checkpoints
+        bound the re-done work, but the crashed attempt itself cost more)."""
+        for r in crash_results:
+            assert r.virtual_time >= r.baseline_time
+            assert r.overhead >= 0.0
+        totals = [r.virtual_time for r in crash_results]
+        assert totals == sorted(totals)
+
+
+class TestChaosSmoke:
+    def test_work_model_handmpi_under_drops(self):
+        """The schedule-modeled baseline also runs under chaos (class-A-ish
+        grid, IBM SP2 model, work model only)."""
+        r = run_chaos(
+            bench="sp", strategy="handmpi", nprocs=4, shape=(24, 24, 24),
+            niter=1, model=IBM_SP2, functional=False,
+            plan=FaultPlan(seed=2, drop_rate=0.1),
+        )
+        assert r.completed and r.attempts == 1
+        assert r.verified is None  # nothing numerical to verify
+        assert r.virtual_time > r.baseline_time
+
+    def test_combined_drops_and_crash(self):
+        """Drops and a crash in the same plan: retransmission + restart."""
+        results = crash_sweep((0.5,), seed=4, drop_rate=0.1)
+        (r,) = results
+        assert r.completed and r.verified
+        assert r.attempts == 2

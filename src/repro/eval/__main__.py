@@ -1,7 +1,8 @@
 """Command-line entry: ``python -m repro.eval <target>``.
 
 Targets: table-8.1, table-8.2, figure-8.1 .. figure-8.4, diffstats,
-ablations.  See DESIGN.md's per-experiment index.
+ablations, chaos.  See DESIGN.md's per-experiment index and "Fault model
+& chaos harness".
 """
 
 from __future__ import annotations
@@ -14,18 +15,37 @@ from .spacetime import FIGURES, spacetime_figure
 from .tables import format_table, table_8_1, table_8_2
 
 
+def _float_list(text: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(part) for part in text.split(",") if part)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma list of numbers, got {text!r}"
+        ) from None
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(prog="python -m repro.eval")
     ap.add_argument(
         "target",
         choices=["table-8.1", "table-8.2", "figure-8.1", "figure-8.2",
-                 "figure-8.3", "figure-8.4", "diffstats", "ablations", "phases"],
+                 "figure-8.3", "figure-8.4", "diffstats", "ablations", "phases",
+                 "chaos"],
     )
     ap.add_argument("--classes", default="A,B", help="comma list of NAS classes")
     ap.add_argument("--procs", default="4,9,16,25", help="comma list of processor counts")
     ap.add_argument("--nprocs", type=int, default=16, help="processors for figures")
     ap.add_argument("--width", type=int, default=100, help="ASCII figure width")
     ap.add_argument("--json", action="store_true", help="emit figure trace as JSON")
+    ap.add_argument("--bench", default="sp", choices=["sp", "bt"], help="chaos benchmark")
+    ap.add_argument("--strategy", default="dhpf", choices=["dhpf", "handmpi"],
+                    help="chaos parallel strategy")
+    ap.add_argument("--drop", default=(0.0, 0.05, 0.1, 0.25), type=_float_list,
+                    help="chaos: comma list of message drop rates")
+    ap.add_argument("--crash-frac", default=(0.5,), type=_float_list,
+                    help="chaos: comma list of crash times as fractions of the "
+                         "fault-free makespan (empty to skip the crash sweep)")
+    ap.add_argument("--seed", type=int, default=1, help="chaos fault-plan seed")
     args = ap.parse_args(argv)
 
     classes = tuple(args.classes.split(","))
@@ -57,6 +77,26 @@ def main(argv: list[str] | None = None) -> int:
             phase_breakdown("sp", "dhpf", args.nprocs),
             phase_breakdown("sp", "pgi", args.nprocs),
         ]))
+    elif args.target == "chaos":
+        from .chaos import crash_sweep, drop_sweep, format_chaos
+
+        nprocs = args.nprocs if args.nprocs != 16 else 4  # class-S default grid
+        functional = args.strategy == "dhpf"
+        kw = dict(bench=args.bench, strategy=args.strategy, nprocs=nprocs,
+                  functional=functional)
+        print(format_chaos(
+            drop_sweep(args.drop, seed=args.seed, **kw),
+            f"Chaos: message-drop sweep ({args.bench}/{args.strategy}, "
+            f"{nprocs} ranks, seed {args.seed})",
+        ))
+        fracs = args.crash_frac
+        if fracs:
+            print()
+            print(format_chaos(
+                crash_sweep(fracs, seed=args.seed, **kw),
+                f"Chaos: single-rank crash + checkpoint/restart "
+                f"(crash rank 1 at makespan fractions {list(fracs)})",
+            ))
     elif args.target == "ablations":
         from .ablations import analysis_ablations, format_ablations, schedule_ablations
 

@@ -1,0 +1,176 @@
+"""Chaos harness: NAS runs under injected faults, with recovery accounting.
+
+Drives the same :func:`repro.parallel.run_parallel` entry point as the
+paper-reproduction tables, but under a deterministic
+:class:`~repro.runtime.faults.FaultPlan`, and reports what production
+operators care about: did the run complete, did it still pass NPB-style
+verification, how many restart attempts it took, and what the resilience
+overhead was in virtual time (retransmission stretch + work lost to
+crashes and re-done from the last coordinated checkpoint).
+
+``python -m repro.eval chaos`` prints the standard sweep; the functions
+here are the library surface used by ``benchmarks/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nas import BTSolver, SPSolver
+from ..nas.verify import VERIFY_GRID, VERIFY_STEPS, verify
+from ..parallel import run_parallel
+from ..parallel.checkpoint import CheckpointConfig, CheckpointStore
+from ..runtime.faults import FaultPlan, RankCrashed, RankFault
+from ..runtime.model import MachineModel, TEST_MACHINE
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one fault-injected configuration."""
+
+    bench: str
+    strategy: str
+    nprocs: int
+    drop_rate: float
+    crash_times: list[float] = field(default_factory=list)
+    attempts: int = 0
+    completed: bool = False
+    verified: Optional[bool] = None  # None for work-model runs
+    virtual_time: float = 0.0  # total cost incl. failed attempts
+    baseline_time: float = 0.0  # fault-free makespan
+
+    @property
+    def overhead(self) -> float:
+        """Resilience overhead: extra virtual time relative to fault-free."""
+        if self.baseline_time <= 0:
+            return 0.0
+        return self.virtual_time / self.baseline_time - 1.0
+
+
+def _reference_field(bench: str, shape, niter: int) -> np.ndarray:
+    solver = (SPSolver if bench == "sp" else BTSolver)(shape)
+    solver.run(niter)
+    return solver.u
+
+
+def run_chaos(
+    bench: str = "sp",
+    strategy: str = "dhpf",
+    nprocs: int = 4,
+    shape: tuple[int, int, int] = VERIFY_GRID,
+    niter: int = VERIFY_STEPS,
+    model: MachineModel = TEST_MACHINE,
+    plan: Optional[FaultPlan] = None,
+    functional: bool = True,
+    checkpoint_interval: int = 1,
+    max_attempts: int = 8,
+    baseline_time: Optional[float] = None,
+) -> ChaosResult:
+    """Run one configuration under ``plan``, restarting from checkpoints.
+
+    Every :class:`RankCrashed` costs the crash's virtual time (the work in
+    flight when the rank died) and triggers a restart from the latest
+    coordinated checkpoint; message faults are absorbed by the reliable
+    transport inside the run.  Functional runs are verified two ways:
+    bitwise against the serial solver, and (on the reference problem)
+    against the stored NPB residuals via :func:`repro.nas.verify.verify`.
+    """
+    if baseline_time is None:
+        baseline = run_parallel(
+            bench, strategy, nprocs, shape, niter, model,
+            functional=functional, record_trace=False,
+        )
+        baseline_time = baseline.time
+    out = ChaosResult(
+        bench, strategy, nprocs,
+        drop_rate=plan.drop_rate if plan is not None else 0.0,
+        baseline_time=baseline_time,
+    )
+    store = CheckpointStore()
+    cfg = CheckpointConfig(store=store, interval=checkpoint_interval)
+    for _ in range(max_attempts):
+        out.attempts += 1
+        try:
+            r = run_parallel(
+                bench, strategy, nprocs, shape, niter, model,
+                functional=functional, record_trace=False,
+                faults=plan, checkpoint=cfg,
+            )
+        except RankCrashed as crash:
+            out.crash_times.append(crash.time)
+            out.virtual_time += crash.time
+            continue
+        out.virtual_time += r.time
+        out.completed = True
+        if functional:
+            ref = _reference_field(bench, shape, niter)
+            ok = bool(np.array_equal(r.u, ref))
+            if (tuple(shape), niter) == (VERIFY_GRID, VERIFY_STEPS):
+                solver = (SPSolver if bench == "sp" else BTSolver)(shape)
+                solver.u = r.u
+                ok = ok and verify(bench, solver.residual_norms(), solver.checksum())
+            out.verified = ok
+        return out
+    return out  # never completed within max_attempts
+
+
+def drop_sweep(
+    rates: Sequence[float] = (0.0, 0.05, 0.1, 0.25),
+    seed: int = 1,
+    **kw,
+) -> list[ChaosResult]:
+    """Sweep message drop rates; higher rates only stretch virtual time."""
+    results = []
+    baseline: Optional[float] = None
+    for rate in rates:
+        plan = FaultPlan(seed=seed, drop_rate=rate) if rate > 0 else None
+        res = run_chaos(plan=plan, baseline_time=baseline, **kw)
+        baseline = res.baseline_time
+        results.append(res)
+    return results
+
+
+def crash_sweep(
+    fractions: Sequence[float] = (0.25, 0.5, 0.75),
+    seed: int = 1,
+    crash_rank: int = 1,
+    drop_rate: float = 0.0,
+    **kw,
+) -> list[ChaosResult]:
+    """Crash one rank at a fraction of the fault-free makespan; recover."""
+    nprocs = kw.get("nprocs", 4)
+    if not 0 <= crash_rank < nprocs:
+        raise ValueError(f"crash_rank {crash_rank} out of range for {nprocs} ranks")
+    probe = run_chaos(plan=None, **kw)  # fault-free run fixes the timescale
+    results = []
+    for frac in fractions:
+        plan = FaultPlan(
+            seed=seed,
+            drop_rate=drop_rate,
+            rank_faults=(RankFault(rank=crash_rank, time=frac * probe.baseline_time),),
+        )
+        results.append(run_chaos(plan=plan, baseline_time=probe.baseline_time, **kw))
+    return results
+
+
+def format_chaos(results: Sequence[ChaosResult], title: str = "Chaos sweep") -> str:
+    """ASCII table in the style of the repro.eval tables."""
+    lines = [title, "=" * len(title)]
+    hdr = (
+        f"{'bench':>5} {'strat':>8} {'P':>3} {'drop':>6} {'crashes':>8} "
+        f"{'tries':>5} {'done':>5} {'verified':>8} {'t_virt':>10} {'overhead':>9}"
+    )
+    lines.append(hdr)
+    lines.append("-" * len(hdr))
+    for r in results:
+        verified = "-" if r.verified is None else ("yes" if r.verified else "NO")
+        lines.append(
+            f"{r.bench:>5} {r.strategy:>8} {r.nprocs:>3} {r.drop_rate:>6.2f} "
+            f"{len(r.crash_times):>8} {r.attempts:>5} "
+            f"{'yes' if r.completed else 'NO':>5} {verified:>8} "
+            f"{r.virtual_time:>10.4f} {r.overhead:>8.1%}"
+        )
+    return "\n".join(lines)

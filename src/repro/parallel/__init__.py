@@ -18,6 +18,14 @@ benchmark harness.
 """
 
 from .api import RunResult, run_parallel
+from .checkpoint import CheckpointConfig, CheckpointStore
 from .decomp import BlockDecomp1D, BlockDecomp2D
 
-__all__ = ["RunResult", "run_parallel", "BlockDecomp1D", "BlockDecomp2D"]
+__all__ = [
+    "RunResult",
+    "run_parallel",
+    "BlockDecomp1D",
+    "BlockDecomp2D",
+    "CheckpointConfig",
+    "CheckpointStore",
+]

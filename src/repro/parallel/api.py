@@ -8,7 +8,10 @@ from typing import Any, Optional
 import numpy as np
 
 from ..runtime import Trace, VirtualMachine
+from ..runtime.faults import FaultPlan
 from ..runtime.model import MachineModel, TEST_MACHINE
+from ..runtime.reliable import ReliableConfig
+from .checkpoint import CheckpointConfig
 from .decomp import BlockDecomp2D
 from .dhpf import DhpfOptions, make_dhpf_node
 
@@ -59,25 +62,42 @@ def run_parallel(
     functional: bool = False,
     options: Any = None,
     record_trace: bool = True,
+    faults: Optional[FaultPlan] = None,
+    reliable: Optional[ReliableConfig] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> RunResult:
     """Run one (benchmark, strategy) configuration on the virtual machine.
 
     bench: 'sp' | 'bt'; strategy: 'dhpf' | 'pgi' | 'handmpi'.
     ``functional=True`` computes real numpy data (small grids; result
     assembled into ``RunResult.u``); otherwise only the work model runs.
+
+    Resilience knobs: ``faults`` injects a deterministic
+    :class:`~repro.runtime.faults.FaultPlan`; ``reliable`` tunes the
+    retransmission transport that masks its message faults; ``checkpoint``
+    enables coordinated snapshot/restart for the dhpf and handmpi
+    strategies (re-run with the same store after a
+    :class:`~repro.runtime.faults.RankCrashed` to recover).
     """
     bench = bench.lower()
     strategy = strategy.lower()
     if bench not in ("sp", "bt"):
         raise ValueError(f"unknown benchmark {bench!r}")
+    if checkpoint is not None and strategy == "pgi":
+        raise ValueError(
+            "checkpoint/restart supports the dhpf and handmpi strategies only"
+        )
 
-    vm = VirtualMachine(nprocs, model, record_trace=record_trace)
+    vm = VirtualMachine(
+        nprocs, model, record_trace=record_trace, faults=faults, reliable=reliable
+    )
     if strategy == "dhpf":
         from ..distrib.grid import ProcessorGrid
 
         pgrid = ProcessorGrid.square_2d("procs", nprocs).shape
         node, _ = make_dhpf_node(
-            bench, shape, niter, pgrid, options or DhpfOptions(), functional
+            bench, shape, niter, pgrid, options or DhpfOptions(), functional,
+            checkpoint=checkpoint,
         )
         results = vm.run(node)
     elif strategy == "pgi":
@@ -96,7 +116,8 @@ def run_parallel(
                 "(see DESIGN.md substitutions); use functional=False"
             )
         node, _ = make_handmpi_node(
-            bench, shape, niter, nprocs, options or HandMpiOptions.for_bench(bench)
+            bench, shape, niter, nprocs, options or HandMpiOptions.for_bench(bench),
+            checkpoint=checkpoint,
         )
         results = vm.run(node)
     else:

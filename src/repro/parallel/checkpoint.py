@@ -1,0 +1,87 @@
+"""Coordinated in-memory checkpoint/restart for the parallel solvers.
+
+The dHPF and hand-MPI node programs checkpoint at iteration boundaries —
+globally consistent cut points, since every rank finishes iteration *k*
+before touching iteration *k+1* state (the ghost exchange at the top of
+each step is the synchronizer).  A :class:`CheckpointStore` outlives the
+virtual machine: after a :class:`~repro.runtime.faults.RankCrashed` the
+harness simply re-runs the same node program with the same store, and
+every rank resumes from the latest iteration for which *all* ranks saved a
+snapshot.  Because the solvers are deterministic, the recovered run is
+bitwise identical to an uninterrupted one and still passes NPB-style
+verification (:mod:`repro.nas.verify`).
+
+Functional runs snapshot the full local ``u`` tile (owned + ghost planes,
+exactly the state an uninterrupted run would carry into the next
+iteration); work-model runs snapshot only the iteration marker.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class CheckpointStore:
+    """Snapshots keyed by (iteration, rank); survives VM restarts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snaps: dict[int, dict[int, Any]] = {}
+
+    def save(self, iteration: int, rank: int, state: Any) -> None:
+        """Record ``state`` (an array, or None in work-model mode)."""
+        if state is not None and hasattr(state, "copy"):
+            state = state.copy()
+        with self._lock:
+            self._snaps.setdefault(iteration, {})[rank] = state
+
+    def latest_complete(self, nranks: int) -> int:
+        """Newest iteration every rank checkpointed (0 = start over)."""
+        with self._lock:
+            complete = [it for it, s in self._snaps.items() if len(s) >= nranks]
+        return max(complete, default=0)
+
+    def restore(self, iteration: int, rank: int) -> Any:
+        with self._lock:
+            state = self._snaps[iteration][rank]
+        return state.copy() if state is not None and hasattr(state, "copy") else state
+
+    def iterations(self) -> list[int]:
+        with self._lock:
+            return sorted(self._snaps)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._snaps.clear()
+
+
+@dataclass
+class CheckpointConfig:
+    """Checkpoint policy handed to the node-program factories.
+
+    ``interval`` is in solver iterations.  ``cost_per_byte`` charges the
+    snapshot copy to the rank's virtual clock (0.0 models an asynchronous
+    copy-on-write checkpointer; set it to the model's ``beta`` to model a
+    memory-speed blocking copy).
+    """
+
+    store: CheckpointStore = field(default_factory=CheckpointStore)
+    interval: int = 1
+    cost_per_byte: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("checkpoint interval must be a positive iteration count")
+        if self.cost_per_byte < 0:
+            raise ValueError("cost_per_byte must be non-negative")
+
+    def due(self, iteration: int) -> bool:
+        """Checkpoint after ``iteration`` (1-based) completes?"""
+        return iteration % self.interval == 0
+
+    def charge(self, rank, state: Optional[Any]) -> None:
+        """Advance the rank's clock by the modeled snapshot cost."""
+        if self.cost_per_byte > 0 and state is not None:
+            rank.elapse(self.cost_per_byte * state.nbytes)

@@ -70,8 +70,15 @@ def make_handmpi_node(
     niter: int,
     nprocs: int,
     options: Optional[HandMpiOptions] = None,
+    checkpoint=None,
 ):
-    """Build the per-rank callable for the multipartitioning schedule."""
+    """Build the per-rank callable for the multipartitioning schedule.
+
+    ``checkpoint`` (a ``repro.parallel.checkpoint.CheckpointConfig``)
+    records an iteration marker per rank — the schedule model carries no
+    numerical state — so a crashed run resumes at the last iteration all
+    ranks completed instead of from scratch.
+    """
     opt = options or HandMpiOptions()
     mp = MultiPartition3D(nprocs, shape)
     NV = 5
@@ -86,7 +93,8 @@ def make_handmpi_node(
         cells = mp.cells_of(me)
         my_points = sum(_cell_points(c) for c in cells)
 
-        for _ in range(niter):
+        start = checkpoint.store.latest_complete(rank.size) if checkpoint else 0
+        for it in range(start, niter):
             # ---- copy_faces: exchange cell faces with differently-owned
             # neighbor cells (gets all data needed by compute_rhs) ----
             rank.set_phase("copy_faces")
@@ -150,6 +158,8 @@ def make_handmpi_node(
 
             rank.set_phase("add")
             rank.compute(flops.ADD_PER_POINT * my_points)
+            if checkpoint is not None and checkpoint.due(it + 1):
+                checkpoint.store.save(it + 1, me, None)
 
         return {"rank": me, "t": rank.t}
 

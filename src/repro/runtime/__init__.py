@@ -14,7 +14,9 @@ with 120 MHz P2SC nodes, IBM MPI, xlf -O3), which no longer exists;
 numbers land on the paper's scale.  See DESIGN.md "Substitutions".
 """
 
+from .faults import FaultPlan, RankCrashed, RankFault
 from .model import MachineModel, IBM_SP2
+from .reliable import ReliableConfig, ReliableTransport
 from .sim import VirtualMachine, Rank, DeadlockError
 from .trace import TraceEvent, Trace
 
@@ -24,6 +26,11 @@ __all__ = [
     "VirtualMachine",
     "Rank",
     "DeadlockError",
+    "FaultPlan",
+    "RankFault",
+    "RankCrashed",
+    "ReliableConfig",
+    "ReliableTransport",
     "TraceEvent",
     "Trace",
 ]

@@ -21,6 +21,24 @@ class MachineModel:
     beta: float
     word_bytes: int = 8
 
+    def __post_init__(self) -> None:
+        if self.flop_time <= 0:
+            raise ValueError(
+                f"flop_time must be positive (seconds per flop), got {self.flop_time!r}"
+            )
+        if self.alpha < 0:
+            raise ValueError(
+                f"alpha (message latency) must be non-negative, got {self.alpha!r}"
+            )
+        if self.beta < 0:
+            raise ValueError(
+                f"beta (seconds per byte) must be non-negative, got {self.beta!r}"
+            )
+        if self.word_bytes <= 0:
+            raise ValueError(
+                f"word_bytes must be a positive element size, got {self.word_bytes!r}"
+            )
+
     def msg_time(self, nbytes: int) -> float:
         return self.alpha + self.beta * nbytes
 

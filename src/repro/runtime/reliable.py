@@ -1,0 +1,130 @@
+"""Reliable transport for the virtual machine: seq/ack/retransmit.
+
+Every message carries a per-(src, dst, tag) sequence number.  The receiver
+delivers strictly in sequence order and discards duplicates; the sender
+retransmits a lost copy after a timeout that backs off exponentially.  All
+of it is *modeled* in virtual time through the LogGP
+:class:`~repro.runtime.model.MachineModel` rather than executed with real
+timers:
+
+- the virtual machine knows (from the :class:`~repro.runtime.faults.FaultPlan`)
+  which transmission attempts are lost, so the arrival time of the copy
+  that finally gets through is ``t_send + sum(RTO_i for each lost attempt)
+  + alpha + beta*nbytes``;
+- a lost *ack* is indistinguishable from lost data to the sender, so the
+  plan's per-attempt drop decision covers both;
+- retransmissions are handled by an offloaded NIC engine: they occupy the
+  wire (and show up as ``resend`` trace events on the sender's timeline)
+  but do not advance the sender's program clock, which has long since
+  moved on — the standard zero-copy send-and-forget approximation.
+
+With no plan (or a plan with all message rates zero) every code path
+reduces to the seed runtime's arithmetic exactly: one attempt, arrival
+``t_send + msg_time(nbytes)``, FIFO delivery — traces are bitwise
+identical and the transport costs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .faults import FaultPlan
+from .model import MachineModel
+
+
+@dataclass(frozen=True)
+class ReliableConfig:
+    """Retransmission tunables (all costs flow through the machine model).
+
+    - ``rto_alphas``: initial retransmission timeout, expressed as a
+      multiple of the model's latency ``alpha`` *on top of* one data+ack
+      round trip — a sender declares a copy lost only after the ack had a
+      comfortable margin to return.
+    - ``backoff``: multiplicative RTO growth per successive loss.
+    - ``max_retries``: cap on modeled backoff doublings.  The transport
+      never gives up — after ``max_retries`` lost copies the next one is
+      forced through — so a plan with ``drop_rate < 1`` cannot wedge the
+      machine; the cap only bounds the modeled cost.
+    - ``ack_bytes``: size of the acknowledgement message.
+    """
+
+    rto_alphas: float = 8.0
+    backoff: float = 2.0
+    max_retries: int = 16
+    ack_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.rto_alphas <= 0:
+            raise ValueError("rto_alphas must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.ack_bytes < 0:
+            raise ValueError("ack_bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class SendSchedule:
+    """Virtual-time outcome of one logical send."""
+
+    arrival: float  # when the first successful copy lands
+    attempts: int  # 1 + number of lost copies
+    resend_windows: tuple[tuple[float, float], ...]  # NIC occupancy per retry
+    duplicate_arrival: Optional[float]  # a spurious extra copy, if any
+
+
+class ReliableTransport:
+    """Per-VM transport state: send scheduling + receive sequencing.
+
+    The receive-side ``expected`` counters are mutated under the virtual
+    machine's mailbox lock; the send side is pure computation.
+    """
+
+    def __init__(
+        self,
+        model: MachineModel,
+        plan: Optional[FaultPlan] = None,
+        config: Optional[ReliableConfig] = None,
+    ):
+        self.model = model
+        self.plan = plan
+        self.config = config or ReliableConfig()
+        self._expected: dict[tuple[int, int, int], int] = {}
+
+    @property
+    def faulty(self) -> bool:
+        return self.plan is not None and self.plan.has_message_faults
+
+    # -- send side ------------------------------------------------------------
+    def schedule(
+        self, src: int, dst: int, tag: int, seq: int, nbytes: int, t_send: float
+    ) -> SendSchedule:
+        """Cost out one logical send, including retransmits and duplicates."""
+        base = self.model.msg_time(nbytes)
+        if not self.faulty:
+            return SendSchedule(t_send + base, 1, (), None)
+        plan = self.plan
+        assert plan is not None
+        cfg = self.config
+        rtt = base + self.model.msg_time(cfg.ack_bytes)
+        rto = cfg.rto_alphas * self.model.alpha + rtt
+        t = t_send
+        windows: list[tuple[float, float]] = []
+        attempt = 0
+        while attempt < cfg.max_retries and plan.drops(src, dst, tag, seq, attempt):
+            t += rto
+            windows.append((t, t + self.model.beta * nbytes))
+            rto *= cfg.backoff
+            attempt += 1
+        arrival = t + base + plan.delay(src, dst, tag, seq)
+        dup = arrival + rtt if plan.duplicates(src, dst, tag, seq) else None
+        return SendSchedule(arrival, attempt + 1, tuple(windows), dup)
+
+    # -- receive side ----------------------------------------------------------
+    def next_expected(self, key: tuple[int, int, int]) -> int:
+        return self._expected.get(key, 0)
+
+    def advance(self, key: tuple[int, int, int]) -> None:
+        self._expected[key] = self._expected.get(key, 0) + 1
