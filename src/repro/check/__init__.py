@@ -1,0 +1,65 @@
+"""Static SPMD verification (see DESIGN.md, "Static SPMD verification").
+
+Four analyses over a compiled program's communication plans, CP
+assignments and emitted schedule:
+
+1. **comm coverage** — every non-local read is received, owned, or
+   locally produced (``E-COVERAGE`` / ``E-LOCAL``);
+2. **race/ordering** — cross-processor flow dependences are carried by a
+   live communication event (``E-RACE``);
+3. **send/recv matching** — the static schedule balances per
+   ``(src, dst, tag)`` (``E-MATCH``);
+4. **overlap bounds** — received halos fit the overlap region
+   (``E-OVERLAP``).
+
+The mutation harness (:mod:`repro.check.mutate`) proves the checker's
+teeth: seeded compiler bugs must each be caught by the intended analysis.
+"""
+
+from .diagnostics import (
+    E_COVERAGE,
+    E_LOCAL,
+    E_MATCH,
+    E_OVERLAP,
+    E_RACE,
+    I_CLEAN,
+    I_FALLBACK,
+    I_TRIP,
+    W_UNPROVEN,
+    CheckReport,
+    Diagnostic,
+    Severity,
+    VerificationError,
+)
+from .schedule import ScheduleOp, StaticSchedule, check_matching
+from .verifier import (
+    VerifyUnit,
+    verify_kernel,
+    verify_nest,
+    verify_source,
+    verify_unit,
+)
+
+__all__ = [
+    "CheckReport",
+    "Diagnostic",
+    "Severity",
+    "VerificationError",
+    "ScheduleOp",
+    "StaticSchedule",
+    "check_matching",
+    "VerifyUnit",
+    "verify_kernel",
+    "verify_nest",
+    "verify_source",
+    "verify_unit",
+    "E_COVERAGE",
+    "E_LOCAL",
+    "E_MATCH",
+    "E_OVERLAP",
+    "E_RACE",
+    "W_UNPROVEN",
+    "I_CLEAN",
+    "I_FALLBACK",
+    "I_TRIP",
+]

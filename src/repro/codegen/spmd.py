@@ -3,23 +3,21 @@
 from __future__ import annotations
 
 import math as _math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional
 
 import numpy as np
 
-from ..analysis.dependence import DependenceAnalyzer
 from ..comm import CommAnalyzer, CommPlan
 from ..cp.loopdist import CPGrouper
 from ..cp.localize import propagate_localize_cps
-from ..cp.model import CP, cp_iteration_set
+from ..cp.model import cp_iteration_set
 from ..cp.nest import NestInfo
 from ..cp.privatizable import propagate_new_cps
 from ..cp.select import CPSelector, StatementCP
 from ..distrib.layout import DistributionContext, PDIM
 from ..frontend import parse_source
-from ..ir.expr import ArrayRef, Var
-from ..ir.interp import FortranArray, _INTRINSICS
+from ..ir.interp import FortranArray
 from ..ir.program import Subroutine
 from ..ir.stmt import Assign, CallStmt, Continue, DoLoop, IfThen, Return, Stmt
 from ..ir.visit import walk_stmts
@@ -36,34 +34,26 @@ class CodegenUnsupported(Exception):
 # compile driver
 # ---------------------------------------------------------------------------
 
-def compile_kernel(
-    source_or_sub: "str | Subroutine",
-    nprocs: int,
-    params: Mapping[str, int] | None = None,
-) -> "CompiledKernel":
-    """Run the full dHPF pipeline on a single program unit and build the
-    executable SPMD kernel."""
-    if isinstance(source_or_sub, str):
-        prog = parse_source(source_or_sub)
-        if len(prog.units) != 1:
-            raise CodegenUnsupported(
-                "compile_kernel takes a single unit; interprocedural kernels "
-                "are analyzed by repro.cp.interproc"
-            )
-        sub = next(iter(prog.units.values()))
-    else:
-        sub = source_or_sub
-    params = dict(params or {})
-    ctx = DistributionContext(sub, nprocs, params)
-    merged = {**sub.symbols.parameter_values(), **params}
+def analyze_program(
+    sub: Subroutine,
+    ctx: DistributionContext,
+    merged: Mapping[str, int],
+) -> "tuple[dict[int, StatementCP], list[tuple[DoLoop, CommPlan]], set[str], set[str]]":
+    """Run the dHPF analysis pipeline (CP selection, NEW/LOCALIZE
+    propagation, comm-sensitive grouping, communication analysis) on every
+    top-level nest of *sub*.
 
-    for s in walk_stmts(sub.body):
-        if isinstance(s, CallStmt):
-            raise CodegenUnsupported("CALL statements are not code-generated")
-
+    Returns ``(cps, nest_plans, private_arrays, localized_arrays)``.  This
+    is the code-generation-free front half of :func:`compile_kernel`; the
+    static verifier (:mod:`repro.check`) uses it directly so that kernels
+    the code generator rejects (pipelined communication, §5) can still be
+    verified.
+    """
+    merged = dict(merged)
     cps_all: dict[int, StatementCP] = {}
     nest_plans: list[tuple[DoLoop, CommPlan]] = []
     private_arrays: set[str] = set()
+    localized_arrays: set[str] = set()
     sel = CPSelector(ctx, eval_params=merged)
     grouper = CPGrouper(ctx, sel)
     for item in sub.body:
@@ -82,6 +72,7 @@ def compile_kernel(
             propagate_new_cps(item, new_vars, cps, NestInfo(item, merged), ctx)
         # LOCALIZE scope
         if item.directive and item.directive.localize_vars:
+            localized_arrays |= {v.lower() for v in item.directive.localize_vars}
             propagate_localize_cps(item, item.directive.localize_vars, cps, ctx, merged)
         # communication-sensitive grouping for the remaining local choices
         res = grouper.group(item, cps=cps, params=merged)
@@ -92,17 +83,65 @@ def compile_kernel(
                 no_comm |= {v.lower() for v in loop.directive.new_vars}
                 no_comm |= {v.lower() for v in loop.directive.localize_vars}
         plan = CommAnalyzer(item, cps, ctx, merged, exclude_arrays=no_comm).analyze()
+        cps_all.update(cps)
+        nest_plans.append((item, plan))
+    return cps_all, nest_plans, private_arrays, localized_arrays
+
+
+def compile_kernel(
+    source_or_sub: "str | Subroutine",
+    nprocs: int,
+    params: Mapping[str, int] | None = None,
+    verify: bool = False,
+) -> "CompiledKernel":
+    """Run the full dHPF pipeline on a single program unit and build the
+    executable SPMD kernel.
+
+    With ``verify=True`` the static SPMD verifier (:mod:`repro.check`) runs
+    over the compiled kernel; errors raise
+    :class:`repro.check.VerificationError` and the full report is attached
+    to the kernel as ``verify_report`` either way.
+    """
+    if isinstance(source_or_sub, str):
+        prog = parse_source(source_or_sub)
+        if len(prog.units) != 1:
+            raise CodegenUnsupported(
+                "compile_kernel takes a single unit; interprocedural kernels "
+                "are analyzed by repro.cp.interproc"
+            )
+        sub = next(iter(prog.units.values()))
+    else:
+        sub = source_or_sub
+    params = dict(params or {})
+    ctx = DistributionContext(sub, nprocs, params)
+    merged = {**sub.symbols.parameter_values(), **params}
+
+    for s in walk_stmts(sub.body):
+        if isinstance(s, CallStmt):
+            raise CodegenUnsupported("CALL statements are not code-generated")
+
+    cps_all, nest_plans, private_arrays, localized_arrays = analyze_program(
+        sub, ctx, merged
+    )
+    for _, plan in nest_plans:
         for ev in plan.live_events():
             if ev.placement.pipelined:
                 raise CodegenUnsupported(
                     f"pipelined communication for array {ev.array!r} "
                     "(wavefront kernels are executed by repro.parallel.dhpf)"
                 )
-        cps_all.update(cps)
-        nest_plans.append((item, plan))
-    return CompiledKernel(
-        sub, ctx, merged, cps_all, nest_plans, nprocs, private_arrays
+    kernel = CompiledKernel(
+        sub, ctx, merged, cps_all, nest_plans, nprocs, private_arrays,
+        localized_arrays,
     )
+    if verify:
+        from ..check import VerificationError, verify_kernel
+
+        report = verify_kernel(kernel)
+        kernel.verify_report = report
+        if not report.ok:
+            raise VerificationError(report)
+    return kernel
 
 
 # ---------------------------------------------------------------------------
@@ -142,6 +181,7 @@ class CompiledKernel:
         nest_plans: list[tuple[DoLoop, CommPlan]],
         nprocs: int,
         private_arrays: "set[str] | None" = None,
+        localized_arrays: "set[str] | None" = None,
     ):
         self.sub = sub
         self.ctx = ctx
@@ -151,6 +191,10 @@ class CompiledKernel:
         self.nprocs = nprocs
         #: NEW (privatizable) arrays: per-rank private in the shmem target
         self.private_arrays = set(private_arrays or ())
+        #: LOCALIZE'd arrays: partially replicated, no comm (§4.2)
+        self.localized_arrays = set(localized_arrays or ())
+        #: filled in by compile_kernel(..., verify=True)
+        self.verify_report = None
         self.grid = ctx.the_grid()
         if self.grid.size != nprocs:
             raise ValueError(f"grid size {self.grid.size} != nprocs {nprocs}")

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from ..analysis.availability import AvailabilityAnalyzer
-from ..analysis.dependence import Dependence, DependenceAnalyzer
+from ..analysis.dependence import DependenceAnalyzer
 from ..cp.model import cp_iteration_set
 from ..cp.nest import NestInfo, access_data_set
 from ..cp.select import StatementCP
@@ -14,7 +14,6 @@ from ..distrib.layout import DistributionContext
 from ..ir.expr import ArrayRef, to_affine
 from ..ir.stmt import Assign, DoLoop
 from ..ir.visit import collect_array_refs, walk_stmts
-from ..isets import ISet
 from .events import CommEvent, Placement
 
 
@@ -24,6 +23,9 @@ class CommPlan:
 
     events: list[CommEvent]
     nest_loops: tuple[DoLoop, ...]
+    #: arrays suppressed from this plan (NEW / LOCALIZE exclusions) — the
+    #: static verifier must prove their reads are produced locally instead
+    excluded_arrays: frozenset = frozenset()
 
     def live_events(self) -> list[CommEvent]:
         return [
@@ -33,14 +35,33 @@ class CommPlan:
         ]
 
     @staticmethod
-    def _trip(loop: DoLoop, binding: Mapping[str, int]) -> int:
+    def _trip(loop: DoLoop, binding: Mapping[str, int]) -> Optional[int]:
+        """Trip count of one loop under *binding*, or an explicit ``None``
+        when a bound is non-affine or references an unbound name.  Callers
+        treat ``None`` as "at least one" and must surface the uncertainty
+        (the static checker reports it as an info finding) rather than
+        silently assuming a single iteration."""
         lo, hi = to_affine(loop.lo), to_affine(loop.hi)
         if lo is None or hi is None:
-            return 1
+            return None
         try:
             return max(hi.evaluate(dict(binding)) - lo.evaluate(dict(binding)) + 1, 0)
         except KeyError:
-            return 1
+            return None
+
+    def unknown_trip_loops(self, binding: Mapping[str, int]) -> list[DoLoop]:
+        """Loops whose trip count the analyzer cannot evaluate — message
+        counts involving them are lower bounds, not exact."""
+        out: list[DoLoop] = []
+        seen: set[int] = set()
+        for e in self.live_events():
+            for loop in e.loops[: e.placement.level]:
+                if loop.sid in seen:
+                    continue
+                seen.add(loop.sid)
+                if self._trip(loop, binding) is None:
+                    out.append(loop)
+        return out
 
     def total_volume(self, binding: Mapping[str, int]) -> int:
         return sum(e.volume(binding) for e in self.live_events())
@@ -181,7 +202,7 @@ class CommAnalyzer:
         if self.coalesce:
             self._coalesce(events)
         root_loops = tuple(self.nest.loops_of(next(walk_stmts([self.root]))))
-        return CommPlan(events, root_loops)
+        return CommPlan(events, root_loops, frozenset(self.exclude))
 
     # -- coalescing --------------------------------------------------------------
     def _coalesce(self, events: list[CommEvent]) -> None:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from ..ir.expr import ArrayRef
@@ -59,12 +59,15 @@ class CommEvent:
 
     def message_count(self, binding: Mapping[str, int], trip_of) -> int:
         """Messages per nest execution: product of trip counts of the loops
-        outside the placement level (>= 1)."""
+        outside the placement level (>= 1).  ``trip_of`` may return ``None``
+        for a loop it cannot evaluate; such loops contribute a factor of 1,
+        making the result a lower bound (see CommPlan.unknown_trip_loops)."""
         if self.placement.hoisted:
             return 1
         n = 1
         for loop in self.loops[: self.placement.level]:
-            n *= max(trip_of(loop, binding), 1)
+            trip = trip_of(loop, binding)
+            n *= max(trip, 1) if trip is not None else 1
         return n
 
     def __repr__(self) -> str:

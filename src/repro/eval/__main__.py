@@ -1,8 +1,8 @@
 """Command-line entry: ``python -m repro.eval <target>``.
 
 Targets: table-8.1, table-8.2, figure-8.1 .. figure-8.4, diffstats,
-ablations, chaos.  See DESIGN.md's per-experiment index and "Fault model
-& chaos harness".
+ablations, chaos, check.  See DESIGN.md's per-experiment index, "Fault
+model & chaos harness" and "Static SPMD verification".
 """
 
 from __future__ import annotations
@@ -11,7 +11,7 @@ import argparse
 import sys
 
 from .diffstats import diff_stats, strip_hpf
-from .spacetime import FIGURES, spacetime_figure
+from .spacetime import spacetime_figure
 from .tables import format_table, table_8_1, table_8_2
 
 
@@ -30,7 +30,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=["table-8.1", "table-8.2", "figure-8.1", "figure-8.2",
                  "figure-8.3", "figure-8.4", "diffstats", "ablations", "phases",
-                 "chaos"],
+                 "chaos", "check"],
     )
     ap.add_argument("--classes", default="A,B", help="comma list of NAS classes")
     ap.add_argument("--procs", default="4,9,16,25", help="comma list of processor counts")
@@ -46,6 +46,14 @@ def main(argv: list[str] | None = None) -> int:
                     help="chaos: comma list of crash times as fractions of the "
                          "fault-free makespan (empty to skip the crash sweep)")
     ap.add_argument("--seed", type=int, default=1, help="chaos fault-plan seed")
+    ap.add_argument("--check-target", default="all",
+                    help="check: one named target, or 'all'")
+    ap.add_argument("--mutate", default=None,
+                    help="check: seed one named compiler bug (or 'all') and "
+                         "report whether the verifier catches it")
+    ap.add_argument("--min-severity", default="info",
+                    choices=["info", "warn", "error"],
+                    help="check: report verbosity floor")
     args = ap.parse_args(argv)
 
     classes = tuple(args.classes.split(","))
@@ -101,6 +109,36 @@ def main(argv: list[str] | None = None) -> int:
         from .ablations import analysis_ablations, format_ablations, schedule_ablations
 
         print(format_ablations(schedule_ablations(args.nprocs), analysis_ablations()))
+    elif args.target == "check":
+        from ..check.diagnostics import Severity
+        from ..check.mutate import MUTATIONS, run_mutation
+        from ..check.targets import available_targets
+
+        min_sev = Severity[args.min_severity.upper()]
+        failed = False
+        if args.mutate is not None:
+            names = list(MUTATIONS) if args.mutate == "all" else [args.mutate]
+            for name in names:
+                if name not in MUTATIONS:
+                    print(f"unknown mutation {name!r}; known: {', '.join(MUTATIONS)}")
+                    return 2
+                result = run_mutation(name)
+                verdict = "CAUGHT" if result.caught else "MISSED"
+                print(f"mutation {name} ({result.description})")
+                print(f"  expected {result.expect_code}: {verdict}")
+                print("  " + result.report.format(min_sev).replace("\n", "\n  "))
+                failed |= not result.caught
+        else:
+            targets = available_targets()
+            names = list(targets) if args.check_target == "all" else [args.check_target]
+            for name in names:
+                if name not in targets:
+                    print(f"unknown target {name!r}; known: {', '.join(targets)}")
+                    return 2
+                report = targets[name]()
+                print(report.format(min_sev))
+                failed |= not report.ok
+        return 1 if failed else 0
     elif args.target == "diffstats":
         from ..nas import kernels
 

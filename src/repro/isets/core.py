@@ -15,7 +15,7 @@ flagged approximate and downstream queries answer conservatively.
 from __future__ import annotations
 
 import itertools
-from math import ceil, floor, gcd
+from math import ceil, floor
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from .terms import LinExpr, E
@@ -104,6 +104,28 @@ class Constraint:
         if self.is_eq:
             return [Constraint(self.expr - 1, False), Constraint(-self.expr - 1, False)]
         return [Constraint(-self.expr - 1, False)]
+
+    def pretty(self, prefer: Sequence[str] = ()) -> str:
+        """Human-oriented relational form: solve for one unit-coefficient
+        variable (preferring *prefer* names, then lexicographic) and render
+        ``v <= rest`` / ``v >= rest`` / ``v = rest`` instead of ``expr >= 0``.
+        Falls back to the raw form when no variable has coefficient ±1."""
+        cands = [v for v in self.expr.vars() if abs(self.expr.coeff(v)) == 1]
+        if not cands:
+            return str(self)
+        ordered = [v for v in prefer if v in cands] + sorted(
+            v for v in cands if v not in prefer
+        )
+        v = ordered[0]
+        a = self.expr.coeff(v)
+        # expr == a*v + r  with r = expr - a*v;  then  a*v (op) -r
+        rest = (self.expr - LinExpr({v: a})) * (-a)
+        if self.is_eq:
+            op = "="
+        else:
+            # a*v + r >= 0  =>  v >= -r (a=1)  |  v <= r (a=-1)
+            op = ">=" if a > 0 else "<="
+        return f"{v} {op} {rest}"
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -448,6 +470,16 @@ class BasicSet:
 
     def count(self, params: Mapping[str, int] | None = None) -> int:
         return sum(1 for _ in self.enumerate_points(params))
+
+    def pretty(self) -> str:
+        """Readable set-builder form with per-variable relational
+        constraints (``{[a$0,a$1] : a$0 >= 1 and a$0 <= 16 ...}``)."""
+        body = " and ".join(
+            c.pretty(prefer=self.dims) for c in self.constraints
+        ) or "true"
+        ex = f"exists {','.join(sorted(self.exists))} : " if self.exists else ""
+        mark = "" if self.exact else " (approx)"
+        return f"{{[{','.join(self.dims)}] : {ex}{body}}}{mark}"
 
     # -- dunder ----------------------------------------------------------
     def __str__(self) -> str:

@@ -177,6 +177,17 @@ class ISet:
     def count(self, params: Mapping[str, int] | None = None) -> int:
         return len(self.points(params))
 
+    def pretty(self, max_parts: int = 4) -> str:
+        """Readable rendering for diagnostics: relational constraint forms,
+        at most *max_parts* disjuncts (the rest summarized by count)."""
+        if not self.parts:
+            return f"{{[{','.join(self.dims)}] : false}}"
+        shown = [p.pretty() for p in self.parts[:max_parts]]
+        extra = len(self.parts) - max_parts
+        if extra > 0:
+            shown.append(f"... (+{extra} more disjuncts)")
+        return " union ".join(shown)
+
     # -- dunder ------------------------------------------------------------
     def _coerce(self, other: "ISet | BasicSet") -> "ISet":
         if isinstance(other, BasicSet):

@@ -1,0 +1,139 @@
+"""Comm-analyzer edge cases: zero-trip loops, non-affine subscripts,
+fully-local nests, and the explicit unknown-trip-count contract
+(CommPlan._trip returning None instead of silently assuming 1)."""
+
+from repro.check import verify_source
+from repro.comm import CommAnalyzer, CommPlan
+from repro.cp.select import CPSelector
+from repro.distrib import DistributionContext
+from repro.frontend import parse_source
+from repro.ir.stmt import DoLoop
+from repro.ir.visit import walk_stmts
+
+HEADER = """
+      subroutine edge(n, m)
+      integer n, m, i
+      parameter (nx = 15)
+      double precision a(0:nx), b(0:nx)
+chpf$ processors procs(4)
+chpf$ template t(0:nx)
+chpf$ align a(i) with t(i)
+chpf$ align b(i) with t(i)
+chpf$ distribute t(block) onto procs
+"""
+
+FOOTER = "      end\n"
+
+
+def _analyze(body: str, params: dict) -> "tuple[CommPlan, object, object]":
+    sub = parse_source(HEADER + body + FOOTER).get("edge")
+    ctx = DistributionContext(sub, 4, params)
+    merged = {**sub.symbols.parameter_values(), **params}
+    loop = sub.body[0]
+    cps = CPSelector(ctx, eval_params=merged).select(loop, merged)
+    plan = CommAnalyzer(loop, cps, ctx, merged).analyze()
+    return plan, loop, ctx
+
+
+class TestZeroTripLoops:
+    def test_zero_trip_nest_has_zero_messages(self):
+        plan, _loop, _ctx = _analyze(
+            "      do i = 5, 4\n         b(i) = a(i+1)\n      enddo\n",
+            {"n": 16, "m": 0},
+        )
+        binding = {"n": 16, "m": 0, "p$0": 0}
+        # events may exist symbolically, but the empty iteration space
+        # contributes no volume
+        assert plan.total_volume(binding) == 0
+
+    def test_zero_trip_verifies_clean(self):
+        report = verify_source(
+            HEADER + "      do i = 5, 4\n         b(i) = a(i+1)\n      enddo\n"
+            + FOOTER,
+            nprocs=4, params={"n": 16, "m": 0},
+        )
+        assert report.ok
+
+
+class TestNonAffineSubscripts:
+    BODY = "      do i = 1, n - 2\n         b(i) = a(i*i)\n      enddo\n"
+
+    def test_no_event_is_derived(self):
+        plan, _loop, _ctx = _analyze(self.BODY, {"n": 16, "m": 0})
+        assert not [e for e in plan.live_events() if e.array == "a"]
+
+    def test_verifier_warns_about_the_gap(self):
+        """No event for a non-affine read of a distributed array is a
+        soundness hole the checker must surface, not hide."""
+        report = verify_source(
+            HEADER + self.BODY + FOOTER, nprocs=4, params={"n": 16, "m": 0}
+        )
+        assert report.ok  # no proof of a bug...
+        warns = report.by_code("W-UNPROVEN")
+        assert warns and warns[0].array == "a"
+
+
+class TestFullyLocalNest:
+    def test_zero_events_and_clean_report(self):
+        body = "      do i = 0, n - 1\n         b(i) = a(i) + 1.0d0\n      enddo\n"
+        plan, _loop, _ctx = _analyze(body, {"n": 16, "m": 0})
+        assert plan.live_events() == []
+        report = verify_source(HEADER + body + FOOTER, nprocs=4,
+                               params={"n": 16, "m": 0})
+        assert report.ok
+        assert report.by_code("I-CLEAN")
+
+
+class TestUnknownTripContract:
+    """Satellite fix: _trip used to return 1 and swallow exceptions."""
+
+    BODY = (
+        "      do i = 1, m\n"
+        "         b(i) = a(i) + 1.0d0\n"
+        "      enddo\n"
+    )
+
+    def _loop(self) -> DoLoop:
+        sub = parse_source(HEADER + self.BODY + FOOTER).get("edge")
+        return next(s for s in walk_stmts(sub.body) if isinstance(s, DoLoop))
+
+    def test_trip_is_none_for_unbound_names(self):
+        loop = self._loop()
+        assert CommPlan._trip(loop, {}) is None  # m unbound
+        assert CommPlan._trip(loop, {"m": 7}) == 7
+        assert CommPlan._trip(loop, {"m": 0}) == 0
+
+    def test_message_count_treats_none_as_lower_bound(self):
+        from repro.comm.events import CommEvent, Placement
+
+        loop = self._loop()
+        event = CommEvent(
+            "a", "read", loop.body[0], None,
+            data=None, placement=Placement(1), loops=(loop,),
+        )
+        # unknown trip contributes a factor of 1, not a crash
+        assert event.message_count({}, CommPlan._trip) == 1
+        assert event.message_count({"m": 3}, CommPlan._trip) == 3
+
+    def test_unknown_trip_loops_reported(self):
+        loop = self._loop()
+        from repro.comm.events import CommEvent, Placement
+
+        event = CommEvent(
+            "a", "read", loop.body[0], None,
+            data=None, placement=Placement(1), loops=(loop,),
+        )
+        plan = CommPlan([event], (loop,))
+        assert [l.var for l in plan.unknown_trip_loops({})] == ["i"]
+        assert plan.unknown_trip_loops({"m": 5}) == []
+
+    def test_excluded_arrays_recorded_on_plan(self):
+        sub = parse_source(HEADER + self.BODY + FOOTER).get("edge")
+        ctx = DistributionContext(sub, 4, {"n": 16, "m": 4})
+        merged = {**sub.symbols.parameter_values(), "n": 16, "m": 4}
+        loop = sub.body[0]
+        cps = CPSelector(ctx, eval_params=merged).select(loop, merged)
+        plan = CommAnalyzer(
+            loop, cps, ctx, merged, exclude_arrays=("A",)
+        ).analyze()
+        assert plan.excluded_arrays == frozenset({"a"})

@@ -1,0 +1,134 @@
+"""Property tests: ISet difference/intersection/union against brute-force
+point enumeration over random affine sets (seeded RNG, no external deps).
+
+The contracts under test (DESIGN.md, integer-set framework):
+
+- union and intersection are exact, always;
+- difference is exact when the subtrahend has no existential variables;
+- difference with existentially quantified subtrahends may only
+  OVER-approximate (keep points) — it must never drop a point of the
+  true difference (soundness for communication generation).
+"""
+
+import random
+
+import pytest
+
+from repro.isets import BasicSet, Constraint, ISet, LinExpr
+from repro.isets.terms import E
+
+DIMS = ("x", "y")
+LO, HI = 0, 6
+BOX = [
+    Constraint.ge(E("x"), LO), Constraint.le(E("x"), HI),
+    Constraint.ge(E("y"), LO), Constraint.le(E("y"), HI),
+]
+
+
+def random_iset(rng: random.Random) -> ISet:
+    """A random union of 1-3 random affine conjunctions inside the box."""
+    parts = []
+    for _ in range(rng.randint(1, 3)):
+        cons = list(BOX)
+        for _ in range(rng.randint(0, 3)):
+            a, b = rng.randint(-2, 2), rng.randint(-2, 2)
+            c = rng.randint(-4, 10)
+            expr = LinExpr({"x": a, "y": b}, -c)  # a*x + b*y - c
+            cons.append(
+                Constraint.ge(expr, 0) if rng.random() < 0.5
+                else Constraint.le(expr, 0)
+            )
+        parts.append(BasicSet(DIMS, cons))
+    return ISet(DIMS, parts)
+
+
+def brute_points(s: ISet) -> set:
+    return {
+        (x, y)
+        for x in range(LO, HI + 1)
+        for y in range(LO, HI + 1)
+        if s.contains((x, y))
+    }
+
+
+@pytest.mark.parametrize("seed", range(40))
+class TestExactSetAlgebra:
+    def _pair(self, seed):
+        rng = random.Random(seed)
+        return random_iset(rng), random_iset(rng)
+
+    def test_intersection_matches_brute_force(self, seed):
+        a, b = self._pair(seed)
+        assert brute_points(a.intersect(b)) == brute_points(a) & brute_points(b)
+
+    def test_union_matches_brute_force(self, seed):
+        a, b = self._pair(seed)
+        assert brute_points(a.union(b)) == brute_points(a) | brute_points(b)
+
+    def test_difference_matches_brute_force(self, seed):
+        """Without existentials the integer difference must be exact."""
+        a, b = self._pair(seed)
+        assert brute_points(a.subtract(b)) == brute_points(a) - brute_points(b)
+
+    def test_emptiness_agrees_with_enumeration(self, seed):
+        a, b = self._pair(seed)
+        diff = a.subtract(b)
+        assert diff.is_empty() == (not brute_points(diff))
+
+
+@pytest.mark.parametrize("seed", range(15))
+class TestQuantifiedSubtrahendSoundness:
+    """Difference with an existential subtrahend over-approximates only."""
+
+    def _strided(self, rng: random.Random) -> ISet:
+        """{[x,y] : exists e : x = stride*e + off} inside the box."""
+        stride = rng.choice((2, 3))
+        off = rng.randint(0, stride - 1)
+        cons = list(BOX) + [
+            Constraint.eq(E("x"), LinExpr({"e": stride}, off)),
+        ]
+        return ISet(DIMS, [BasicSet(DIMS, cons, exists=("e",))])
+
+    def test_no_point_of_true_difference_is_dropped(self, seed):
+        rng = random.Random(1000 + seed)
+        a = random_iset(rng)
+        b = self._strided(rng)
+        result = brute_points(a.subtract(b))
+        true_diff = brute_points(a) - brute_points(b)
+        assert true_diff <= result  # sound: may keep extra, never drops
+
+    def test_exactness_flag_reflects_approximation(self, seed):
+        rng = random.Random(2000 + seed)
+        a = random_iset(rng)
+        b = self._strided(rng)
+        diff = a.subtract(b)
+        over = brute_points(diff) - (brute_points(a) - brute_points(b))
+        if over:
+            # an over-approximate difference must not claim subset proofs
+            assert not a.is_subset(b.union(diff.subtract(a)))
+
+
+class TestPrettyPrinting:
+    def test_constraint_rendering_is_relational(self):
+        s = ISet(DIMS, [BasicSet(DIMS, BOX)])
+        text = s.pretty()
+        assert "x >= 0" in text and "x <= 6" in text
+
+    def test_empty_set_renders_false(self):
+        assert ISet(DIMS, []).pretty() == "{[x,y] : false}"
+
+    def test_disjunct_truncation(self):
+        parts = [
+            BasicSet(DIMS, BOX + [Constraint.eq(E("x"), k)]) for k in range(6)
+        ]
+        text = ISet(DIMS, parts).pretty(max_parts=2)
+        assert "+4 more disjuncts" in text
+
+    def test_exists_and_approx_markers(self):
+        bs = BasicSet(
+            DIMS, BOX + [Constraint.eq(E("x"), LinExpr({"e": 2}))],
+            exists=("e",),
+        )
+        assert "exists e" in bs.pretty()
+        approx = BasicSet(DIMS, BOX, exact=False)
+        assert "(approx)" in approx.pretty()
