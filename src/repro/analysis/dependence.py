@@ -15,12 +15,20 @@ yields one :class:`Dependence` edge.  Non-affine subscripts or bounds fall
 back to a conservative "assume dependence at every level".
 
 Scalars are rank-0 arrays: they depend at every level unless privatized.
+
+The level semantics are a load-bearing contract for the vectorizing
+backend (`repro.codegen.vectorize`): it distributes loops and emits N-d
+blocks based on *which* level carries each edge (and on the exactness of
+"no edge at level l" answers — conservative fallbacks only ever add
+edges, so they can only suppress vectorization, never unsoundly enable
+it).  ``ignore_vars`` exists for the same client: scalars it privatizes
+by expansion are excluded from the scalar-dependence rule above.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
 
 from ..ir.expr import ArrayRef, Expr, Var, to_affine
 from ..ir.stmt import Assign, DoLoop, Stmt
@@ -29,7 +37,6 @@ from ..ir.visit import (
     enclosing_loops,
     reads_of,
     walk_stmts,
-    writes_of,
 )
 from ..isets import BasicSet, Constraint, ISet, LinExpr
 from ..isets.terms import E

@@ -1,4 +1,13 @@
-"""Expression/statement → Python source emission for generated node code."""
+"""Expression/statement → Python source emission for generated node code.
+
+This is the *scalar* emission layer: one Python expression per Fortran
+expression, loop indices as plain ints.  The vectorizing backend
+(`repro.codegen.vectorize`) reuses :func:`emit_expr` verbatim for every
+subexpression that is invariant in the vectorized loops — subscript
+remainders, loop bounds, guard-segment context — so the two backends
+share one rendering of scalar arithmetic (same intrinsic helpers, same
+numpy scalar ufuncs via ``K``), which the bitwise-identity contract
+between them depends on."""
 
 from __future__ import annotations
 

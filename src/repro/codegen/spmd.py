@@ -2,22 +2,21 @@
 
 from __future__ import annotations
 
-import math as _math
-from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
 from ..comm import CommAnalyzer, CommPlan
 from ..cp.loopdist import CPGrouper
 from ..cp.localize import propagate_localize_cps
-from ..cp.model import cp_iteration_set
+from ..cp.model import cp_iteration_set, cp_key
 from ..cp.nest import NestInfo
 from ..cp.privatizable import propagate_new_cps
 from ..cp.select import CPSelector, StatementCP
 from ..distrib.layout import DistributionContext, PDIM
 from ..frontend import parse_source
-from ..ir.interp import FortranArray
+from ..ir.interp import FortranArray, fortran_mod, fortran_nint, fortran_sign
 from ..ir.program import Subroutine
 from ..ir.stmt import Assign, CallStmt, Continue, DoLoop, IfThen, Return, Stmt
 from ..ir.visit import walk_stmts
@@ -93,15 +92,24 @@ def compile_kernel(
     nprocs: int,
     params: Mapping[str, int] | None = None,
     verify: bool = False,
+    backend: str = "vector",
 ) -> "CompiledKernel":
     """Run the full dHPF pipeline on a single program unit and build the
     executable SPMD kernel.
+
+    ``backend`` selects the node-code emission strategy: ``"vector"``
+    (default) lowers dependence-free innermost affine loops to NumPy slice
+    assignments, falling back to per-element emission statement-by-statement
+    whenever safety cannot be proven; ``"scalar"`` always emits per-element
+    loops.  Both backends produce bitwise-identical arrays.
 
     With ``verify=True`` the static SPMD verifier (:mod:`repro.check`) runs
     over the compiled kernel; errors raise
     :class:`repro.check.VerificationError` and the full report is attached
     to the kernel as ``verify_report`` either way.
     """
+    if backend not in ("vector", "scalar"):
+        raise ValueError(f"unknown codegen backend {backend!r}")
     if isinstance(source_or_sub, str):
         prog = parse_source(source_or_sub)
         if len(prog.units) != 1:
@@ -132,7 +140,7 @@ def compile_kernel(
                 )
     kernel = CompiledKernel(
         sub, ctx, merged, cps_all, nest_plans, nprocs, private_arrays,
-        localized_arrays,
+        localized_arrays, backend=backend,
     )
     if verify:
         from ..check import VerificationError, verify_kernel
@@ -157,20 +165,157 @@ class _Route:
     #: (src_rank, dst_rank) -> ordered element list
     pairs: dict[tuple[int, int], list[tuple[int, ...]]]
     tag: int
+    #: per-pair fancy-index arrays (lazy; keyed by (src, dst))
+    _idx: dict = field(default_factory=dict, repr=False)
+
+    def index_for(self, pair: tuple[int, int], arr: FortranArray) -> tuple:
+        """numpy fancy-index tuple selecting this pair's elements of *arr*
+        in the same order as the element list (bulk gather/scatter)."""
+        idx = self._idx.get(pair)
+        if idx is None:
+            elems = self.pairs[pair]
+            idx = tuple(
+                np.fromiter((e[d] for e in elems), dtype=np.intp, count=len(elems))
+                - arr.lower[d]
+                for d in range(arr.data.ndim)
+            )
+            self._idx[pair] = idx
+        return idx
+
+
+def _box_cover(coords) -> tuple:
+    """Exact cover of a set of integer coordinate tuples by axis-aligned
+    boxes ``(a0, b0, a1, b1, ...)`` — per-level inclusive ``(lo, hi)``
+    pairs, first coordinate first.
+
+    Built recursively: group by the first coordinate, cover the remaining
+    coordinates of each group, then merge maximal blocks of consecutive
+    first-coordinate values with identical sub-covers — for block-
+    distributed guards the cover is a single box.  Boxes come out in
+    (first-block, sub-cover) order, which keeps every fixed-prefix row's
+    runs in increasing order; vectorized statements with an innermost-
+    carried anti dependence rely on this (see ``vectorize.plan_nest``)."""
+    if not coords:
+        return ()
+    if len(coords[0]) == 1:
+        vals = sorted({c[0] for c in coords})
+        runs = []
+        start = prev = vals[0]
+        for v in vals[1:]:
+            if v == prev + 1:
+                prev = v
+            else:
+                runs.append((start, prev))
+                start = prev = v
+        runs.append((start, prev))
+        return tuple(runs)
+    groups: dict[int, list] = {}
+    for c in coords:
+        groups.setdefault(c[0], []).append(c[1:])
+    subs = {v: _box_cover(rest) for v, rest in groups.items()}
+    out: list = []
+    a0 = a1 = None
+    cur = None
+    for v in sorted(subs):
+        if cur == subs[v] and v == a1 + 1:
+            a1 = v
+        else:
+            if cur is not None:
+                out.extend((a0, a1) + sub for sub in cur)
+            a0 = a1 = v
+            cur = subs[v]
+    out.extend((a0, a1) + sub for sub in cur)
+    return tuple(out)
+
+
+class Guards(dict):
+    """Per-rank statement guards: ``sid -> frozenset(points) | None`` (None
+    means unguarded).  Beyond the scalar backend's point-membership test,
+    this serves the vector backend's *block* queries: exact covers of the
+    admissible indices at one or more vectorized loop positions by
+    contiguous runs/boxes, for fixed outer indices."""
+
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
+        self._covers: dict = {}
+
+    def boxes(self, sid: int, tpl: tuple, *bounds):
+        """Exact cover of the admissible points at the ``None`` positions
+        of *tpl* (outermost vectorized loop first) by boxes
+        ``(a0, b0, a1, b1, ...)`` — one inclusive ``(lo, hi)`` pair per
+        position — clamped to *bounds* (the same pair layout).  Unguarded
+        statements get the whole bounds box.  Covers are cached per
+        ``(sid, positions)`` across queries; clamping an exact cover
+        axis-by-axis keeps it exact."""
+        bounds = tuple(int(v) for v in bounds)
+        d = len(bounds) // 2
+        for l in range(d):
+            if bounds[2 * l + 1] < bounds[2 * l]:
+                return ()
+        pts = self.get(sid)
+        if pts is None:
+            return (bounds,)
+        positions = []
+        p = -1
+        for _ in range(d):
+            p = tpl.index(None, p + 1)
+            positions.append(p)
+        positions = tuple(positions)
+        table = self._covers.get((sid, positions))
+        if table is None:
+            posset = set(positions)
+            by_fixed: dict[tuple, list] = {}
+            for pt in pts:
+                fixed = tuple(v for i, v in enumerate(pt) if i not in posset)
+                by_fixed.setdefault(fixed, []).append(
+                    tuple(pt[i] for i in positions)
+                )
+            table = {f: _box_cover(cs) for f, cs in by_fixed.items()}
+            self._covers[(sid, positions)] = table
+        posset = set(positions)
+        fixed = tuple(v for i, v in enumerate(tpl) if i not in posset)
+        out = []
+        for box in table.get(fixed, ()):
+            clamped = []
+            for l in range(d):
+                a = max(box[2 * l], bounds[2 * l])
+                b = min(box[2 * l + 1], bounds[2 * l + 1])
+                if a > b:
+                    break
+                clamped += [a, b]
+            else:
+                out.append(tuple(clamped))
+        return out
+
+    def segments(self, sid: int, tpl: tuple, lo, hi):
+        """Maximal runs ``(a, b)`` of admissible values at the single
+        ``None`` position of *tpl*, clamped to ``[lo, hi]``."""
+        return self.boxes(sid, tpl, lo, hi)
+
+    def rects(self, sid: int, tpl: tuple, lo1, hi1, lo2, hi2):
+        """Rectangle cover ``(a0, a1, b0, b1)`` of the two ``None``
+        positions of *tpl* (outer first)."""
+        return self.boxes(sid, tpl, lo1, hi1, lo2, hi2)
 
 
 class CompiledKernel:
     """An executable SPMD kernel produced by :func:`compile_kernel`."""
 
-    # math namespace for generated code
+    #: numpy namespace for generated vector code
+    np = np
+
+    # math namespace for generated code.  numpy's scalar ufunc paths are used
+    # (not ``math.*``) so the scalar and vector backends evaluate
+    # transcendentals through the same ufunc implementation — a prerequisite
+    # for their bitwise-identical-arrays contract.
     class m:
-        sqrt = staticmethod(_math.sqrt)
-        exp = staticmethod(_math.exp)
-        log = staticmethod(_math.log)
-        sin = staticmethod(_math.sin)
-        cos = staticmethod(_math.cos)
-        tan = staticmethod(_math.tan)
-        atan = staticmethod(_math.atan)
+        sqrt = staticmethod(np.sqrt)
+        exp = staticmethod(np.exp)
+        log = staticmethod(np.log)
+        sin = staticmethod(np.sin)
+        cos = staticmethod(np.cos)
+        tan = staticmethod(np.tan)
+        atan = staticmethod(np.arctan)
 
     def __init__(
         self,
@@ -182,6 +327,7 @@ class CompiledKernel:
         nprocs: int,
         private_arrays: "set[str] | None" = None,
         localized_arrays: "set[str] | None" = None,
+        backend: str = "vector",
     ):
         self.sub = sub
         self.ctx = ctx
@@ -189,6 +335,12 @@ class CompiledKernel:
         self.cps = cps
         self.nest_plans = nest_plans
         self.nprocs = nprocs
+        #: node-code emission strategy ("vector" | "scalar")
+        self.backend = backend
+        #: per-innermost-loop vectorization decisions, filled during emission
+        #: (sid -> repro.codegen.vectorize.LoopReport)
+        self.vector_report: dict[int, Any] = {}
+        self._vector_plans: dict[int, Any] = {}
         #: NEW (privatizable) arrays: per-rank private in the shmem target
         self.private_arrays = set(private_arrays or ())
         #: LOCALIZE'd arrays: partially replicated, no comm (§4.2)
@@ -201,31 +353,28 @@ class CompiledKernel:
         self._routes: list[list[_Route]] = [
             self._build_routes(i, plan) for i, (_, plan) in enumerate(nest_plans)
         ]
-        self._guard_cache: dict[int, dict[int, Optional[frozenset]]] = {}
+        self._guard_cache: dict[int, Guards] = {}
         self._sources: dict[str, str] = {}
         self._fns: dict[str, Callable] = {}
 
     # -- helpers exposed to generated code (the `K` object) -----------------------
     @staticmethod
     def fdiv(a, b):
-        if isinstance(a, int) and isinstance(b, int):
+        if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+            # Fortran integer division truncates toward zero
             q = a // b
             if q < 0 and q * b != a:
                 q += 1
             return q
         return a / b
 
-    @staticmethod
-    def fmod(a, b):
-        return a - b * int(a / b) if isinstance(a, int) else a % b
-
-    @staticmethod
-    def nint(x):
-        return int(round(x))
-
-    @staticmethod
-    def fsign(a, b):
-        return abs(a) if b >= 0 else -abs(a)
+    # Fortran intrinsic semantics for negative operands (MOD keeps the sign
+    # of the first argument; NINT rounds halves away from zero; SIGN
+    # transfers the sign bit) — shared with the serial interpreter so the
+    # reference and generated code agree bit-for-bit.
+    fmod = staticmethod(fortran_mod)
+    nint = staticmethod(fortran_nint)
+    fsign = staticmethod(fortran_sign)
 
     @staticmethod
     def do_range(lo, hi, step=1):
@@ -236,14 +385,125 @@ class CompiledKernel:
         s = G.get(sid)
         return True if s is None else point in s
 
+    # -- vector-backend runtime helpers ---------------------------------------
+    @staticmethod
+    def segments(G: "Guards", sid: int, tpl: tuple, lo, hi):
+        """Contiguous admissible runs of the innermost index (see
+        :meth:`Guards.segments`)."""
+        return G.segments(sid, tpl, lo, hi)
+
+    @staticmethod
+    def rects(G: "Guards", sid: int, tpl: tuple, lo1, hi1, lo2, hi2):
+        """Rectangle cover of the two vectorized index positions (see
+        :meth:`Guards.rects`)."""
+        return G.rects(sid, tpl, lo1, hi1, lo2, hi2)
+
+    @staticmethod
+    def boxes(G: "Guards", sid: int, tpl: tuple, *bounds):
+        """Exact box cover of the vectorized index positions (see
+        :meth:`Guards.boxes`)."""
+        return G.boxes(sid, tpl, *bounds)
+
+    #: read-only backing store for :meth:`arange` (grown on demand; shared
+    #: across ranks, which is safe precisely because it is immutable)
+    _arange_base = np.arange(0)
+
+    @classmethod
+    def arange(cls, lo, hi):
+        """Inclusive Fortran-style index vector ``[lo..hi]``.
+
+        Generated code only ever reads these (index vectors appear on the
+        right-hand side), so non-negative ranges are served as views of one
+        cached, write-protected base array instead of a fresh allocation
+        per guard segment."""
+        lo = int(lo)
+        hi = int(hi)
+        if lo < 0:
+            return np.arange(lo, hi + 1)
+        if hi >= cls._arange_base.size:
+            base = np.arange(max(hi + 1, 2 * cls._arange_base.size, 64))
+            base.setflags(write=False)
+            CompiledKernel._arange_base = base
+        return cls._arange_base[lo:hi + 1]
+
+    @staticmethod
+    def fsl(lo, hi, step=1):
+        """Inclusive Fortran-space slice (``FortranArray.vget/vset`` shift
+        start/stop by the declared lower bound)."""
+        return slice(int(lo), int(hi) + 1, int(step))
+
+    @staticmethod
+    def vmat(value, n):
+        """Materialize a vector: broadcast a scalar rhs to length *n*."""
+        if isinstance(value, np.ndarray) and value.ndim:
+            return value
+        return np.full(n, value)
+
+    @staticmethod
+    def vdiv(a, b):
+        """Elementwise ``/`` with Fortran integer-division semantics when
+        both operands are integral (matches :meth:`fdiv` elementwise)."""
+
+        def integral(x):
+            if isinstance(x, np.ndarray):
+                return x.dtype.kind in "iu"
+            return isinstance(x, (int, np.integer))
+
+        if integral(a) and integral(b):
+            q = np.floor_divide(a, b)
+            r = a - q * b
+            return q + ((r != 0) & (q < 0))  # floor -> trunc where signs differ
+        return a / b
+
+    @staticmethod
+    def vmod(a, b):
+        """Elementwise Fortran MOD (sign of the first argument)."""
+
+        def integral(x):
+            if isinstance(x, np.ndarray):
+                return x.dtype.kind in "iu"
+            return isinstance(x, (int, np.integer))
+
+        if integral(a) and integral(b):
+            return a - b * CompiledKernel.vdiv(a, b)
+        return np.fmod(a, b)
+
+    @staticmethod
+    def vnint(x):
+        """Elementwise Fortran NINT (halves away from zero)."""
+        return np.where(
+            np.asarray(x) >= 0, np.floor(np.asarray(x) + 0.5), np.ceil(np.asarray(x) - 0.5)
+        ).astype(np.int64)
+
+    @staticmethod
+    def vint(x):
+        """Elementwise Fortran INT (truncation toward zero)."""
+        return np.trunc(x).astype(np.int64)
+
+    @staticmethod
+    def vdbl(x):
+        return np.asarray(x, dtype=np.float64)
+
+    @staticmethod
+    def vsign(a, b):
+        """Elementwise Fortran SIGN; integer arguments keep integer type."""
+        a_arr, b_arr = np.asarray(a), np.asarray(b)
+        if a_arr.dtype.kind in "iu" and b_arr.dtype.kind in "iu":
+            return np.where(b_arr >= 0, np.abs(a_arr), -np.abs(a_arr))
+        return np.copysign(np.abs(a_arr), b_arr)
+
     # -- guards ---------------------------------------------------------------
-    def bind_guards(self, rank_id: int) -> dict[int, Optional[frozenset]]:
+    def bind_guards(self, rank_id: int) -> Guards:
         """Per-statement concrete iteration sets for one rank (cached)."""
         if rank_id in self._guard_cache:
             return self._guard_cache[rank_id]
         coords = self.grid.delinearize(rank_id)
         pbind = {PDIM(g): c for g, c in enumerate(coords)}
-        out: dict[int, Optional[frozenset]] = {}
+        out = Guards()
+        # statements under the same innermost loop whose CPs induce the same
+        # data partition (cp_key, §5) admit identical iteration sets — share
+        # one point enumeration (the dominant cost at class-W sizes)
+        shared: dict[tuple, "frozenset | None"] = {}
         for root, _plan in self.nest_plans:
             nest = NestInfo(root, self.params)
             for stmt in walk_stmts([root]):
@@ -252,6 +512,15 @@ class CompiledKernel:
                 scp = self.cps.get(stmt.sid)
                 if scp is None or scp.cp.is_replicated:
                     out[stmt.sid] = None
+                    continue
+                key = None
+                loops = nest.loops_of(stmt)
+                if loops:
+                    tkeys = [cp_key(t, self.ctx) for t in scp.cp.terms]
+                    if all(k is not None for k in tkeys):
+                        key = (loops[-1].sid, frozenset(tkeys))
+                if key is not None and key in shared:
+                    out[stmt.sid] = shared[key]
                     continue
                 dims = nest.dims_of(stmt)
                 bounds = nest.bounds_of(stmt)
@@ -262,6 +531,8 @@ class CompiledKernel:
                     scp.cp, dims, bounds.bind(self.params), self.ctx
                 ).bind({**self.params, **pbind})
                 out[stmt.sid] = frozenset(iters.points())
+                if key is not None:
+                    shared[key] = out[stmt.sid]
         self._guard_cache[rank_id] = out
         return out
 
@@ -299,13 +570,13 @@ class CompiledKernel:
             arr = A[route.array]
             for (src, dst), elems in route.pairs.items():
                 if src == me:
-                    buf = np.array([arr.get(e) for e in elems], dtype=np.float64)
+                    idx = route.index_for((src, dst), arr)
+                    buf = np.ascontiguousarray(arr.data[idx], dtype=np.float64)
                     rank.send(dst, buf, tag=route.tag)
             for (src, dst), elems in route.pairs.items():
                 if dst == me:
                     buf = rank.recv(src, tag=route.tag)
-                    for e, v in zip(elems, buf):
-                        arr.set(e, v)
+                    arr.data[route.index_for((src, dst), arr)] = buf
 
     # -- code generation -----------------------------------------------------------
     def python_source(self, target: str = "mpi") -> str:
@@ -325,7 +596,8 @@ class CompiledKernel:
         self._loop_order = self._collect_loop_order()
         lines: list[str] = [
             f"# SPMD node program generated by dhpf-py for {self.sub.name}",
-            f"# target {target}, grid {self.grid.shape}, params {self.params}",
+            f"# target {target}, backend {self.backend}, "
+            f"grid {self.grid.shape}, params {self.params}",
             "def node_program(rank, A, S, K):",
             "    G = K.bind_guards(rank.rank)",
         ]
@@ -362,6 +634,11 @@ class CompiledKernel:
                 lines.append(f"{pad}{target}")
             return
         if isinstance(s, DoLoop):
+            if self.backend == "vector":
+                from .vectorize import try_emit_vector_loop
+
+                if try_emit_vector_loop(self, s, lines, indent, locals_):
+                    return
             lo = emit_expr(s.lo, locals_)
             hi = emit_expr(s.hi, locals_)
             step = emit_expr(s.step, locals_)

@@ -1,0 +1,818 @@
+"""Vectorizing backend: NumPy slice emission for affine loop nests.
+
+The scalar backend emits one Python statement per loop iteration per
+assignment.  This pass proves, per innermost affine loop — or per
+perfectly-nested rectangular chain of loops — that executing each
+assignment over its whole admissible index block at once is
+observationally identical to the scalar interleaving, then emits NumPy
+slice assignments over :meth:`FortranArray.vget`/``vset`` instead.
+
+Safety argument (see DESIGN.md "Vectorizing backend"):
+
+* **Loop distribution.**  Emitting the body statements as separate
+  full-range sweeps in textual order is legal iff no carried dependence
+  (at any vectorized level) runs from a textually-later statement to an
+  earlier one.  Forward carried dependences and all loop-independent
+  dependences are preserved by construction (a statement's sweep completes
+  before the next statement starts).
+* **Same-statement carried dependences** are allowed when the statement is
+  emitted as a scalar mini-loop (original iteration order preserved), or —
+  for *anti* dependences carried by the innermost vectorized level only —
+  when emitted vectorized: the guard cover executes boxes in lexicographic
+  iteration order, and NumPy materializes the full right-hand side of each
+  box before any element is stored.  An anti dependence carried by an
+  *outer* vectorized level can cross cover boxes against iteration order
+  (guard holes split rows into blocks), so it forces a shallower nest.
+* **Scalar expansion.**  A scalar written once per iteration and only read
+  afterwards becomes a block-shaped vector temporary.  Under computation-
+  partition guards this is bitwise-safe only when every reader's guard is
+  subsumed by the writer's (checked via ON_HOME-term subsumption), so no
+  reader ever observes a stale value that the scalar backend would have
+  kept from an earlier admitted iteration.
+* **Guard covers.**  Per-statement CP guards are realized as maximal
+  contiguous runs of admissible innermost indices (:meth:`Guards.segments`)
+  or, for multi-level blocks, as an exact lexicographically-ordered box
+  cover (:meth:`Guards.boxes`), so each guarded statement is a short loop
+  over slices, not over points.
+* **Statement merging.**  Consecutive vectorized statements whose guards
+  have the same canonical data partition (§5 ``cp_key``) and with no
+  carried dependence between them share one cover loop: per box they
+  execute in textual order, which preserves their loop-independent
+  dependences, and carried dependences between group members are excluded
+  outright.
+* **Orientation.**  Fortran's column-major subscript order means the
+  innermost loop index usually indexes the *first* array axis.  Each nest
+  adopts the axis order of its first store as the block orientation; every
+  other reference must use a subsequence of that order (NumPy keeps slice
+  axes in array order), and lower-dimensional sections are broadcast-
+  lifted with unit axes at the orientation positions they do not vary
+  with.
+
+Everything unprovable falls back level-by-level (an N-deep block plan
+that fails is retried one loop deeper in), then statement-by-statement
+(scalar mini-loops inside the vectorized innermost loop), then loop-wise
+to the scalar backend; the decision log is kept on the kernel as
+``vector_report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from ..analysis.dependence import DependenceAnalyzer
+from ..cp.model import cp_key
+from ..ir.expr import ArrayRef, BinOp, Expr, FuncCall, Num, UnOp, Var, from_affine, to_affine
+from ..ir.stmt import Assign, Continue, DoLoop
+from ..isets import LinExpr
+from .pyemit import emit_expr
+
+if TYPE_CHECKING:
+    from .spmd import CompiledKernel
+
+
+class VectorUnsupported(Exception):
+    """A statement (or loop) cannot be proven safe to vectorize; the caller
+    falls back to scalar emission.  The message is the fallback reason."""
+
+
+#: intrinsics with an elementwise numpy equivalent that matches the scalar
+#: backend's helper bit-for-bit (same ufunc / same formula)
+_VECFUNC = {
+    "sqrt": "K.np.sqrt", "dsqrt": "K.np.sqrt",
+    "abs": "K.np.abs", "dabs": "K.np.abs",
+    "exp": "K.np.exp", "dexp": "K.np.exp",
+    "log": "K.np.log", "dlog": "K.np.log",
+    "sin": "K.np.sin", "cos": "K.np.cos", "tan": "K.np.tan", "atan": "K.np.arctan",
+    "mod": "K.vmod", "nint": "K.vnint", "int": "K.vint",
+    "dble": "K.vdbl", "real": "K.vdbl", "float": "K.vdbl",
+    "sign": "K.vsign",
+}
+
+_VEC_BINOP = {
+    "+": "+", "-": "-", "*": "*", "**": "**",
+    "==": "==", "/=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+}
+
+
+@dataclass
+class _Ctx:
+    """Emission context for one vector block.
+
+    ``lo``/``hi`` are Python source fragments for the inclusive innermost
+    index range being emitted (a guard segment/box edge, or the whole loop
+    range for expanded temporaries); ``base`` is the loop's lower bound,
+    the origin of every expanded temporary.
+
+    ``outer`` lists additionally-vectorized enclosing loop levels as
+    ``(var, lo, hi, base)`` tuples, outermost first: expressions then
+    evaluate over an N-d block, with partial-axes subexpressions broadcast-
+    lifted per ``orient`` (the loop indices in array-axis order, adopted
+    from the nest's first store)."""
+
+    var: str
+    locals_: set
+    expanded: Mapping[str, str]
+    written: frozenset
+    lo: str
+    hi: str
+    base: str
+    outer: tuple = ()
+    orient: Optional[tuple] = None
+
+    def vec_vars(self) -> tuple:
+        """The vectorized loop indices, outermost first."""
+        return tuple(o[0] for o in self.outer) + (self.var,)
+
+    def range_of(self, v: str) -> tuple[str, str]:
+        if v == self.var:
+            return self.lo, self.hi
+        for name, lo, hi, _base in self.outer:
+            if name == v:
+                return lo, hi
+        raise KeyError(v)
+
+    def base_of(self, v: str) -> str:
+        if v == self.var:
+            return self.base
+        for name, _lo, _hi, base in self.outer:
+            if name == v:
+                return base
+        raise KeyError(v)
+
+
+@dataclass
+class _StmtPlan:
+    stmt: Assign
+    vector: bool
+    reason: str = ""
+    #: ('array', name, subs_src) | ('expand', name, temp) — plus rhs_src
+    payload: tuple | None = None
+    rhs_src: str = ""
+
+
+@dataclass
+class LoopReport:
+    """One loop's (or loop chain's) vectorization outcome (perf diagnostics)."""
+
+    loop_var: str
+    sid: int
+    status: str  # 'vector' | 'scalar' | 'mixed'
+    reason: str = ""
+    vector_sids: tuple = ()
+    scalar_sids: tuple = ()
+    expanded: tuple = ()
+
+    def __repr__(self) -> str:
+        extra = f" ({self.reason})" if self.reason else ""
+        return f"<do {self.loop_var}: {self.status}{extra}>"
+
+
+@dataclass
+class LoopPlan:
+    fallback: Optional[str]
+    stmts: list = field(default_factory=list)
+    expanded: dict = field(default_factory=dict)
+    report: LoopReport = None  # type: ignore[assignment]
+    #: carried (src_sid, dst_sid) pairs between distinct statements — these
+    #: must not share a merged cover loop
+    carried_pairs: frozenset = frozenset()
+
+    @property
+    def any_vector(self) -> bool:
+        return any(s.vector for s in self.stmts)
+
+
+@dataclass
+class NestPlan:
+    """A perfectly-nested rectangular loop chain emitted as N-d blocks."""
+
+    chain: list              # DoLoops, outermost first
+    groups: list             # list[list[_StmtPlan]] sharing one cover loop
+    expanded: dict           # scalar name -> temp name
+    orient: tuple            # loop indices in array-axis order
+    report: LoopReport = None  # type: ignore[assignment]
+
+
+def _var_names(e: Expr) -> set[str]:
+    return {n.name.lower() for n in e.walk() if isinstance(n, Var)}
+
+
+def _scalar_reads(stmt: Assign) -> set[str]:
+    """Scalar names read anywhere in a statement (rhs + lhs subscripts)."""
+    names = _var_names(stmt.rhs)
+    if isinstance(stmt.lhs, ArrayRef):
+        for s in stmt.lhs.subscripts:
+            names |= _var_names(s)
+    return names
+
+
+def _is_subseq(sub, seq) -> bool:
+    it = iter(seq)
+    return all(v in it for v in sub)
+
+
+def _guard_key(kernel: "CompiledKernel", sid: int):
+    """Canonical identity of a statement's guard iteration set.
+
+    Statements in the same loop body whose keys compare equal are admitted
+    on identical iteration sets on every rank: their guards are built from
+    the same nest bounds intersected with the union of their ON_HOME term
+    sets, and ``cp_key`` (§5) identifies terms that induce the same data
+    partition.  ``None`` means unguarded/replicated (full range)."""
+    scp = kernel.cps.get(sid)
+    if scp is None or scp.cp.is_replicated:
+        return None
+    keys = set()
+    for t in scp.cp.terms:
+        k = cp_key(t, kernel.ctx)
+        if k is None:
+            return None  # undistributed term replicates the statement
+        keys.add(k)
+    return frozenset(keys)
+
+
+def _merge_groups(kernel: "CompiledKernel", plans, carried_pairs):
+    """Partition consecutive vector statements into merge groups: equal
+    guard keys and no carried dependence between group members."""
+    groups: list[list] = []
+    for p in plans:
+        if groups:
+            g = groups[-1]
+            if (
+                _guard_key(kernel, p.stmt.sid) == _guard_key(kernel, g[0].stmt.sid)
+                and not any(
+                    (a.stmt.sid, p.stmt.sid) in carried_pairs
+                    or (p.stmt.sid, a.stmt.sid) in carried_pairs
+                    for a in g
+                )
+            ):
+                g.append(p)
+                continue
+        groups.append([p])
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# vector expression emission
+# ---------------------------------------------------------------------------
+
+def _check_plain(names: set[str], ctx: _Ctx, where: str) -> None:
+    bad = names & ctx.written
+    if bad:
+        raise VectorUnsupported(f"{where} reads loop-written scalar {sorted(bad)[0]!r}")
+    bad = names & set(ctx.expanded)
+    if bad:
+        raise VectorUnsupported(f"{where} uses expanded scalar {sorted(bad)[0]!r}")
+
+
+def _slice_src(s: Expr, ref_name: str, var: str, lo: str, hi: str, ctx: _Ctx) -> str:
+    """``K.fsl`` source for one subscript affine in *var* over [lo, hi]."""
+    a = to_affine(s)
+    if a is None:
+        raise VectorUnsupported(
+            f"non-affine subscript {s} of {ref_name} uses {var}"
+        )
+    c = a.coeff(var)
+    rest = a - LinExpr({var: c})
+    if c <= 0:
+        raise VectorUnsupported(
+            f"subscript {s} of {ref_name}: non-positive stride {c} in {var}"
+        )
+    _check_plain({v.lower() for v in rest.vars()}, ctx, f"subscript {s}")
+    rest_src = emit_expr(from_affine(rest), ctx.locals_)
+    if c == 1:
+        return f"K.fsl({lo} + ({rest_src}), {hi} + ({rest_src}))"
+    return f"K.fsl({c}*{lo} + ({rest_src}), {c}*{hi} + ({rest_src}), {c})"
+
+
+def _emit_array_access(ref: ArrayRef, ctx: _Ctx, write: bool) -> tuple[str, tuple]:
+    """Subscript-tuple source for an array section; returns ``(subs, used)``
+    where *used* lists the vectorized loop indices in axis order."""
+    vecs = ctx.vec_vars()
+    subs_src = []
+    used: list[str] = []
+    for s in ref.subscripts:
+        names = _var_names(s)
+        vec_here = [v for v in vecs if v in names]
+        if len(vec_here) > 1:
+            raise VectorUnsupported(
+                f"subscript {s} of {ref.name} couples loop indices "
+                f"{'/'.join(vec_here)}"
+            )
+        if vec_here:
+            v = vec_here[0]
+            if v in used:
+                raise VectorUnsupported(
+                    f"{ref.name}: multiple subscripts use the loop index {v}"
+                )
+            lo, hi = ctx.range_of(v)
+            subs_src.append(_slice_src(s, ref.name, v, lo, hi, ctx))
+            used.append(v)
+        else:
+            _check_plain(names, ctx, f"subscript {s}")
+            subs_src.append(emit_expr(s, ctx.locals_))
+    if ctx.orient is not None and not _is_subseq(used, ctx.orient):
+        # numpy keeps slice axes in array order; a reference transposed
+        # against the nest's orientation would need an axis swap — fall back
+        raise VectorUnsupported(
+            f"{ref.name}: loop indices appear in {tuple(used)} order but "
+            f"the nest's store orientation is {ctx.orient}"
+        )
+    if write:
+        missing = set(vecs) - set(used)
+        if missing:
+            raise VectorUnsupported(
+                f"store to {ref.name} does not vary with "
+                f"{'/'.join(sorted(missing))}"
+            )
+    return ", ".join(subs_src), tuple(used)
+
+
+def _lift(src: str, used, ctx: _Ctx) -> str:
+    """Broadcast-lift a partial-axes section to the block's shape: insert
+    unit axes at the orientation positions the value does not vary with."""
+    if ctx.orient is None or len(ctx.orient) <= 1 or tuple(used) == ctx.orient:
+        return src
+    idx = ", ".join(":" if v in used else "None" for v in ctx.orient)
+    return f"{src}[{idx}]"
+
+
+def emit_vexpr(e: Expr, ctx: _Ctx) -> str:
+    """Python source evaluating *e* elementwise over the block defined by
+    *ctx* (a numpy array, or a scalar to broadcast)."""
+    if isinstance(e, Num):
+        return repr(e.value)
+    if isinstance(e, Var):
+        n = e.name.lower()
+        if n in ctx.vec_vars():
+            lo, hi = ctx.range_of(n)
+            return _lift(f"K.arange({lo}, {hi})", (n,), ctx)
+        if n in ctx.expanded:
+            if not ctx.outer:
+                return f"{ctx.expanded[n]}[{ctx.lo} - {ctx.base}:{ctx.hi} + 1 - {ctx.base}]"
+            slc = ", ".join(
+                f"{ctx.range_of(v)[0]} - {ctx.base_of(v)}:"
+                f"{ctx.range_of(v)[1]} + 1 - {ctx.base_of(v)}"
+                for v in ctx.orient
+            )
+            return f"{ctx.expanded[n]}[{slc}]"
+        if n in ctx.written:
+            raise VectorUnsupported(f"reads scalar {n!r} assigned in the loop")
+        if n in ctx.locals_:
+            return n
+        return f"S[{n!r}]"
+    if isinstance(e, UnOp):
+        if e.op == "-":
+            return f"(-{emit_vexpr(e.operand, ctx)})"
+        raise VectorUnsupported(f"operator {e.op!r} has no vector form")
+    if isinstance(e, BinOp):
+        if e.op == "/":
+            return f"K.vdiv({emit_vexpr(e.left, ctx)}, {emit_vexpr(e.right, ctx)})"
+        op = _VEC_BINOP.get(e.op)
+        if op is None:
+            raise VectorUnsupported(f"operator {e.op!r} has no vector form")
+        return f"({emit_vexpr(e.left, ctx)} {op} {emit_vexpr(e.right, ctx)})"
+    if isinstance(e, ArrayRef):
+        subs, used = _emit_array_access(e, ctx, write=False)
+        if not used:  # loop-invariant element: broadcast
+            return f"A[{e.name.lower()!r}].get(({subs},))"
+        return _lift(f"A[{e.name.lower()!r}].vget(({subs},))", used, ctx)
+    if isinstance(e, FuncCall):
+        name = e.name.lower()
+        args = [emit_vexpr(a, ctx) for a in e.args]
+        if name in ("min", "dmin1", "max", "dmax1"):
+            fn = "K.np.minimum" if name in ("min", "dmin1") else "K.np.maximum"
+            acc = args[0]
+            for a in args[1:]:
+                acc = f"{fn}({acc}, {a})"
+            return acc
+        fn = _VECFUNC.get(name)
+        if fn is None:
+            raise VectorUnsupported(f"call to {e.name!r} has no vector form")
+        return f"{fn}({', '.join(args)})"
+    raise VectorUnsupported(f"cannot vectorize {type(e).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
+
+def _expansion_candidates(
+    kernel: "CompiledKernel", assigns: list[Assign]
+) -> dict[str, str]:
+    """Scalars assigned exactly once per iteration, only read after the
+    write, whose readers' guards are subsumed by the writer's guard."""
+    writes: dict[str, list[int]] = {}
+    for i, s in enumerate(assigns):
+        if isinstance(s.lhs, Var):
+            writes.setdefault(s.lhs.name.lower(), []).append(i)
+    out: dict[str, str] = {}
+    for name, idxs in writes.items():
+        if len(idxs) != 1:
+            continue
+        wi = idxs[0]
+        # a read at or before the write sees the previous iteration's value
+        if any(name in _scalar_reads(assigns[j]) for j in range(wi + 1)):
+            continue
+        wscp = kernel.cps.get(assigns[wi].sid)
+        w_unguarded = wscp is None or wscp.cp.is_replicated
+        safe = True
+        for j in range(wi + 1, len(assigns)):
+            if name not in _scalar_reads(assigns[j]):
+                continue
+            if w_unguarded:
+                continue
+            rscp = kernel.cps.get(assigns[j].sid)
+            if (
+                rscp is not None
+                and not rscp.cp.is_replicated
+                and set(rscp.cp.terms) <= set(wscp.cp.terms)
+            ):
+                continue  # reader executes only where the writer did
+            safe = False
+            break
+        if safe:
+            out[name] = f"_vx_{name}"
+    return out
+
+
+def _classify(
+    kernel: "CompiledKernel",
+    assigns: list[Assign],
+    expanded: dict[str, str],
+    written: set[str],
+    locals_: set,
+    var: str,
+    forced_scalar: dict[int, str],
+) -> list[_StmtPlan]:
+    seg = _Ctx(var, set(locals_), expanded, frozenset(written - set(expanded)),
+               "_sa", "_sb", "_v0")
+    plans: list[_StmtPlan] = []
+    for s in assigns:
+        if s.sid in forced_scalar:
+            plans.append(_StmtPlan(s, False, forced_scalar[s.sid]))
+            continue
+        try:
+            if isinstance(s.lhs, ArrayRef) and s.lhs.rank > 0:
+                subs, _ = _emit_array_access(s.lhs, seg, write=True)
+                rhs = emit_vexpr(s.rhs, seg)
+                plans.append(_StmtPlan(
+                    s, True, payload=("array", s.lhs.name.lower(), subs), rhs_src=rhs))
+            else:
+                name = s.lhs.name.lower()
+                if name not in expanded:
+                    raise VectorUnsupported(
+                        f"scalar {name!r} assigned in the loop is not expandable"
+                    )
+                rhs = emit_vexpr(s.rhs, seg)
+                plans.append(_StmtPlan(
+                    s, True, payload=("expand", name, expanded[name]), rhs_src=rhs))
+        except VectorUnsupported as exc:
+            plans.append(_StmtPlan(s, False, str(exc)))
+    return plans
+
+
+def plan_loop(kernel: "CompiledKernel", loop: DoLoop, locals_: set) -> LoopPlan:
+    """Decide, statement by statement, how to emit one innermost loop."""
+
+    def bail(reason: str) -> LoopPlan:
+        plan = LoopPlan(fallback=reason)
+        plan.report = LoopReport(loop.var, loop.sid, "scalar", reason)
+        return plan
+
+    for c in loop.body:
+        if not isinstance(c, (Assign, Continue)):
+            return bail(f"{type(c).__name__} in loop body")
+    step = to_affine(loop.step)
+    if step is None or not step.is_constant() or step.constant != 1:
+        return bail("non-unit loop step")
+    assigns = [s for s in loop.body if isinstance(s, Assign)]
+    if not assigns:
+        return bail("empty body")
+    written = {s.lhs.name.lower() for s in assigns if isinstance(s.lhs, Var)}
+
+    expanded = _expansion_candidates(kernel, assigns)
+    forced_scalar: dict[int, str] = {}
+    while True:
+        plans = _classify(kernel, assigns, expanded, written, locals_, loop.var,
+                          forced_scalar)
+        # expansion is only valid if every statement touching the scalar is
+        # vectorized; otherwise un-expand and reclassify
+        kill = set()
+        for p in plans:
+            if p.vector:
+                continue
+            touched = _scalar_reads(p.stmt)
+            if isinstance(p.stmt.lhs, Var):
+                touched |= {p.stmt.lhs.name.lower()}
+            kill |= touched & set(expanded)
+        if not kill:
+            # distribution legality: no backward level-1 dependence
+            order = {s.sid: i for i, s in enumerate(assigns)}
+            vec = {p.stmt.sid for p in plans if p.vector}
+            deps = DependenceAnalyzer(
+                loop, kernel.params, ignore_vars=expanded
+            ).dependences()
+            bad = None
+            demote: dict[int, str] = {}
+            fwd_pairs: set = set()
+            for d in deps:
+                if d.level != 1:
+                    continue
+                if d.src is d.dst:
+                    if d.src.sid not in vec:
+                        continue  # scalar mini-loop keeps iteration order
+                    if d.kind == "anti":
+                        continue  # numpy reads the full rhs before storing
+                    demote[d.src.sid] = (
+                        f"carried {d.kind} dependence on {d.var!r}")
+                    continue
+                if order[d.src.sid] < order[d.dst.sid]:
+                    # forward carried: preserved by distribution, but the
+                    # two statements must not share a merged cover loop
+                    fwd_pairs.add((d.src.sid, d.dst.sid))
+                    continue
+                bad = d
+                break
+            if bad is not None:
+                return bail(
+                    f"backward loop-carried {bad.kind} dependence on {bad.var!r} "
+                    f"(s{bad.src.sid} -> s{bad.dst.sid})"
+                )
+            if demote:
+                forced_scalar.update(demote)
+                continue
+            carried_pairs = frozenset(fwd_pairs)
+            break
+        expanded = {k: v for k, v in expanded.items() if k not in kill}
+
+    plan = LoopPlan(fallback=None, stmts=plans, expanded=expanded,
+                    carried_pairs=carried_pairs)
+    vec_sids = tuple(p.stmt.sid for p in plans if p.vector)
+    sc_sids = tuple(p.stmt.sid for p in plans if not p.vector)
+    if not vec_sids:
+        reason = "; ".join(sorted({p.reason for p in plans if p.reason}))
+        plan.fallback = f"no vectorizable statements ({reason})"
+        plan.report = LoopReport(loop.var, loop.sid, "scalar", plan.fallback)
+        return plan
+    status = "vector" if not sc_sids else "mixed"
+    reason = "; ".join(sorted({p.reason for p in plans if p.reason}))
+    plan.report = LoopReport(
+        loop.var, loop.sid, status, reason, vec_sids, sc_sids,
+        tuple(sorted(expanded)),
+    )
+    return plan
+
+
+def plan_nest(kernel: "CompiledKernel", top: DoLoop, locals_: set):
+    """Plan a perfectly-nested rectangular loop chain starting at *top* as
+    one N-d vector block; returns a :class:`NestPlan` or None (the caller
+    descends one loop deeper and retries, bottoming out at the 1-d
+    per-statement planner).
+
+    Full distribution of *all* chain loops around every statement is legal
+    iff no carried dependence (any level) runs backward textually.  Per
+    statement, only anti dependences carried by the *innermost* level are
+    allowed (box cover executes in lexicographic iteration order + NumPy's
+    full-RHS materialization); a carried flow/output dependence, or an
+    anti dependence carried by an outer level, fails the nest.  Scalar
+    writes become block-shaped expanded temporaries when every reader's
+    guard is subsumed by the writer's."""
+    chain = [top]
+    node = top
+    while True:
+        kids = [c for c in node.body if not isinstance(c, Continue)]
+        if len(kids) == 1 and isinstance(kids[0], DoLoop):
+            chain.append(kids[0])
+            node = kids[0]
+            continue
+        break
+    if len(chain) < 2:
+        return None
+    inner = chain[-1]
+    if not all(isinstance(c, (Assign, Continue)) for c in inner.body):
+        return None
+    seen_vars: set[str] = set()
+    for lp in chain:
+        step = to_affine(lp.step)
+        if step is None or not step.is_constant() or step.constant != 1:
+            return None
+        if seen_vars & (_var_names(lp.lo) | _var_names(lp.hi)):
+            return None  # triangular: bounds vary with an enclosing chain index
+        seen_vars.add(lp.var)
+    assigns = [s for s in inner.body if isinstance(s, Assign)]
+    if not assigns:
+        return None
+    if any(isinstance(s.lhs, ArrayRef) and s.lhs.rank == 0 for s in assigns):
+        return None
+    depth = len(chain)
+    written = {s.lhs.name.lower() for s in assigns if isinstance(s.lhs, Var)}
+    expanded = _expansion_candidates(kernel, assigns) if written else {}
+    if written - set(expanded):
+        return None  # an unexpandable scalar write: leave to shallower plans
+    ctx = _Ctx(
+        inner.var, set(locals_), expanded, frozenset(),
+        f"_x{depth - 1}a", f"_x{depth - 1}b", f"_b{depth - 1}0",
+        outer=tuple(
+            (lp.var, f"_x{l}a", f"_x{l}b", f"_b{l}0")
+            for l, lp in enumerate(chain[:-1])
+        ),
+    )
+    first_store = next(
+        (s for s in assigns if isinstance(s.lhs, ArrayRef)), None)
+    if first_store is None:
+        return None
+    plans: list[_StmtPlan] = []
+    try:
+        # the first store defines the nest's orientation (which loop index
+        # runs along which array axis); every other reference must match
+        _, used = _emit_array_access(first_store.lhs, ctx, write=True)
+        ctx.orient = used
+        for s in assigns:
+            if isinstance(s.lhs, ArrayRef):
+                subs, _ = _emit_array_access(s.lhs, ctx, write=True)
+                rhs = emit_vexpr(s.rhs, ctx)
+                plans.append(_StmtPlan(
+                    s, True, payload=("array", s.lhs.name.lower(), subs),
+                    rhs_src=rhs))
+            else:
+                name = s.lhs.name.lower()
+                rhs = emit_vexpr(s.rhs, ctx)
+                plans.append(_StmtPlan(
+                    s, True, payload=("expand", name, expanded[name]),
+                    rhs_src=rhs))
+    except VectorUnsupported:
+        return None
+    order = {s.sid: i for i, s in enumerate(assigns)}
+    carried: set = set()
+    for d in DependenceAnalyzer(
+        top, kernel.params, ignore_vars=expanded
+    ).dependences():
+        if d.level == 0:
+            continue  # loop-independent: forward textual, preserved
+        if d.src is d.dst:
+            if d.kind == "anti" and d.level == depth:
+                continue  # innermost-carried anti: box order + materialization
+            return None
+        if order[d.src.sid] < order[d.dst.sid]:
+            carried.add((d.src.sid, d.dst.sid))
+            continue  # forward: all of src runs before any of dst
+        return None
+    plan = NestPlan(
+        chain=chain,
+        groups=_merge_groups(kernel, plans, carried),
+        expanded=expanded,
+        orient=ctx.orient,
+    )
+    plan.report = LoopReport(
+        ",".join(lp.var for lp in chain), top.sid, "vector",
+        f"{depth}-d block", tuple(p.stmt.sid for p in plans),
+        expanded=tuple(sorted(expanded)),
+    )
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# emission
+# ---------------------------------------------------------------------------
+
+def try_emit_vector_loop(
+    kernel: "CompiledKernel",
+    loop: DoLoop,
+    lines: list[str],
+    indent: int,
+    locals_: set,
+) -> bool:
+    """Emit *loop* as NumPy slice code if it is a provably-safe innermost
+    affine loop (or heads a perfect rectangular nest, emitted as N-d
+    blocks); returns False (caller emits scalar and descends) otherwise."""
+    if any(isinstance(c, DoLoop) for c in loop.body):
+        key = ("nest", loop.sid)
+        res = kernel._vector_plans.get(key)
+        if res is None:
+            res = plan_nest(kernel, loop, locals_) or False
+            kernel._vector_plans[key] = res
+        if res is False:
+            return False  # not a vectorizable chain: descend
+        kernel.vector_report[loop.sid] = res.report
+        _emit_plan_nest(kernel, res, lines, indent, locals_)
+        return True
+    plan = kernel._vector_plans.get(loop.sid)
+    if plan is None:
+        plan = plan_loop(kernel, loop, locals_)
+        kernel._vector_plans[loop.sid] = plan
+    kernel.vector_report[loop.sid] = plan.report
+    if plan.fallback is not None:
+        return False
+    _emit_plan(kernel, loop, plan, lines, indent, locals_)
+    return True
+
+
+def _emit_plan_nest(
+    kernel: "CompiledKernel",
+    plan: NestPlan,
+    lines: list[str],
+    indent: int,
+    locals_: set,
+) -> None:
+    from .spmd import sorted_locals
+
+    chain = plan.chain
+    depth = len(chain)
+    pad = "    " * indent
+    for l, lp in enumerate(chain):
+        lines.append(
+            f"{pad}_b{l}0, _b{l}1 = int({emit_expr(lp.lo, locals_)}), "
+            f"int({emit_expr(lp.hi, locals_)})"
+        )
+    cond = " and ".join(f"_b{l}0 <= _b{l}1" for l in range(depth))
+    lines.append(f"{pad}if {cond}:")
+    bp = pad + "    "
+    chain_vars = {lp.var for lp in chain}
+    names = sorted_locals(set(locals_) | chain_vars, kernel._loop_order)
+    tpl = "(" + ", ".join(
+        "None" if n in chain_vars else n for n in names) + ",)"
+    level = {lp.var: l for l, lp in enumerate(chain)}
+    for temp in plan.expanded.values():
+        shape = ", ".join(
+            f"_b{level[v]}1 - _b{level[v]}0 + 1" for v in plan.orient)
+        lines.append(f"{bp}{temp} = K.np.empty(({shape}))")
+    bounds = ", ".join(f"_b{l}0, _b{l}1" for l in range(depth))
+    coords = ", ".join(f"_x{l}a, _x{l}b" for l in range(depth))
+    for group in plan.groups:
+        sid = group[0].stmt.sid
+        lines.append(
+            f"{bp}for {coords} in G.boxes({sid}, {tpl}, {bounds}):")
+        for p in group:
+            if p.payload[0] == "expand":
+                _, name, temp = p.payload
+                slc = ", ".join(
+                    f"_x{level[v]}a - _b{level[v]}0:"
+                    f"_x{level[v]}b + 1 - _b{level[v]}0"
+                    for v in plan.orient)
+                lines.append(f"{bp}    {temp}[{slc}] = {p.rhs_src}")
+                corner = ", ".join(
+                    f"_x{level[v]}b - _b{level[v]}0" for v in plan.orient)
+                lines.append(f"{bp}    S[{name!r}] = {temp}[{corner}]")
+            else:
+                _, aname, subs = p.payload
+                lines.append(f"{bp}    A[{aname!r}].vset(({subs},), {p.rhs_src})")
+
+
+def _emit_plan(
+    kernel: "CompiledKernel",
+    loop: DoLoop,
+    plan: LoopPlan,
+    lines: list[str],
+    indent: int,
+    locals_: set,
+) -> None:
+    from .spmd import sorted_locals
+
+    pad = "    " * indent
+    lo_src = emit_expr(loop.lo, locals_)
+    hi_src = emit_expr(loop.hi, locals_)
+    lines.append(f"{pad}_v0, _v1 = int({lo_src}), int({hi_src})")
+    lines.append(f"{pad}if _v0 <= _v1:")
+    bp = pad + "    "
+    names = sorted_locals(set(locals_) | {loop.var}, kernel._loop_order)
+    tpl = "(" + ", ".join("None" if n == loop.var else n for n in names) + ",)"
+    for temp in plan.expanded.values():
+        lines.append(f"{bp}{temp} = K.np.empty(_v1 - _v0 + 1)")
+    stmts = plan.stmts
+    i = 0
+    while i < len(stmts):
+        if not stmts[i].vector:
+            # consecutive scalar-fallback statements share one mini-loop,
+            # preserving their original relative iteration order
+            j = i
+            while j < len(stmts) and not stmts[j].vector:
+                j += 1
+            lines.append(f"{bp}for {loop.var} in K.do_range(_v0, _v1, 1):")
+            inner = set(locals_) | {loop.var}
+            for k in range(i, j):
+                kernel._emit_stmt(stmts[k].stmt, lines, indent + 2, inner)
+            i = j
+            continue
+        j = i
+        while j < len(stmts) and stmts[j].vector:
+            j += 1
+        for group in _merge_groups(kernel, stmts[i:j], plan.carried_pairs):
+            lines.append(
+                f"{bp}for _sa, _sb in "
+                f"G.segments({group[0].stmt.sid}, {tpl}, _v0, _v1):")
+            for p in group:
+                if p.payload[0] == "expand":
+                    # evaluate only over the writer's admitted runs; readers'
+                    # guards are subsumed, so unfilled positions are never
+                    # observed
+                    _, name, temp = p.payload
+                    lines.append(
+                        f"{bp}    {temp}[_sa - _v0:_sb + 1 - _v0] = {p.rhs_src}")
+                    lines.append(f"{bp}    S[{name!r}] = {temp}[_sb - _v0]")
+                else:
+                    _, aname, subs = p.payload
+                    lines.append(
+                        f"{bp}    A[{aname!r}].vset(({subs},), {p.rhs_src})")
+        i = j

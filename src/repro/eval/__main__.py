@@ -30,7 +30,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=["table-8.1", "table-8.2", "figure-8.1", "figure-8.2",
                  "figure-8.3", "figure-8.4", "diffstats", "ablations", "phases",
-                 "chaos", "check"],
+                 "chaos", "check", "bench"],
     )
     ap.add_argument("--classes", default="A,B", help="comma list of NAS classes")
     ap.add_argument("--procs", default="4,9,16,25", help="comma list of processor counts")
@@ -54,6 +54,20 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--min-severity", default="info",
                     choices=["info", "warn", "error"],
                     help="check: report verbosity floor")
+    ap.add_argument("--bench-out", default=None, metavar="FILE",
+                    help="bench: write results as JSON to FILE")
+    ap.add_argument("--repeat", type=int, default=1,
+                    help="bench: timing repetitions (best-of)")
+    ap.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                    help="bench: fail unless every kernel's vector backend is "
+                         ">= X times faster than scalar (CI guard)")
+    ap.add_argument("--bench-kernel", default=None, metavar="SUBSTR",
+                    help="bench: only kernels whose name contains SUBSTR "
+                         "(skips the dhpf and class-W phases)")
+    ap.add_argument("--skip-dhpf", action="store_true",
+                    help="bench: skip the functional dHPF class-S runs")
+    ap.add_argument("--skip-class-w", action="store_true",
+                    help="bench: skip the class-W vector smoke")
     args = ap.parse_args(argv)
 
     classes = tuple(args.classes.split(","))
@@ -140,6 +154,8 @@ def main(argv: list[str] | None = None) -> int:
                 failed |= not report.ok
         return 1 if failed else 0
     elif args.target == "diffstats":
+        from ..codegen import CodegenUnsupported, compile_kernel
+        from ..isets import cache_stats, reset_caches
         from ..nas import kernels
 
         print("Kernel line-change accounting (§8.1 methodology):")
@@ -151,6 +167,49 @@ def main(argv: list[str] | None = None) -> int:
                 f"({st.fraction:5.1%}), {st.directive_lines} directive lines"
             )
         print("paper: SP 147/3152 (4.7%), BT 226/3813 (5.9%)")
+        # compile the kernels once to exercise — and then report — the iset
+        # operation caches (hash-consed constraints + emptiness memo)
+        reset_caches()
+        for name, src, np_, params in (
+            ("lhsy", kernels.LHSY_SP, 4, {"n": 17}),
+            ("compute_rhs", kernels.COMPUTE_RHS_BT, 8, {"n": 13}),
+            ("exact_rhs", kernels.EXACT_RHS_SP, 4, {"n": 17}),
+        ):
+            try:
+                compile_kernel(src, nprocs=np_, params=params)
+            except CodegenUnsupported:
+                pass
+        c = cache_stats().as_dict()
+        print("\niset operation caches (over the three compiles above):")
+        print(
+            f"  constraint interning: {c['constraint_hits']} hits / "
+            f"{c['constraint_misses']} misses ({c['constraint_hit_rate']:.1%})"
+        )
+        print(
+            f"  emptiness memo:       {c['empty_hits']} hits / "
+            f"{c['empty_misses']} misses ({c['empty_hit_rate']:.1%})"
+        )
+    elif args.target == "bench":
+        from .bench import check_guards, run_bench, write_json
+
+        report = run_bench(
+            repeat=args.repeat,
+            only=args.bench_kernel,
+            skip_dhpf=args.skip_dhpf,
+            skip_class_w=args.skip_class_w,
+            progress=lambda msg: print(f"  [bench] {msg}", flush=True),
+        )
+        print(report.format())
+        if args.bench_out:
+            write_json(report, args.bench_out)
+            print(f"\nwrote {args.bench_out}")
+        if args.min_speedup is not None:
+            problems = check_guards(report, args.min_speedup)
+            if problems:
+                for p in problems:
+                    print(f"BENCH GUARD FAILED: {p}")
+                return 1
+            print(f"bench guard passed (all speedups >= {args.min_speedup:.1f}x)")
     return 0
 
 

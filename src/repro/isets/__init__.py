@@ -22,7 +22,7 @@ Public API:
 """
 
 from .terms import LinExpr, Term
-from .core import Constraint, BasicSet
+from .core import BasicSet, Constraint, cache_stats, reset_caches
 from .iset import ISet, box, universe, empty
 from .relation import AffineMap
 
@@ -36,4 +36,6 @@ __all__ = [
     "box",
     "universe",
     "empty",
+    "cache_stats",
+    "reset_caches",
 ]

@@ -26,13 +26,91 @@ from .terms import LinExpr, E
 _MAX_CONSTRAINTS = 400
 
 
+class CacheStats:
+    """Hit/miss counters for the hash-consed set caches (perf telemetry,
+    surfaced by ``python -m repro.eval diffstats`` and the bench harness)."""
+
+    __slots__ = ("constraint_hits", "constraint_misses", "empty_hits", "empty_misses")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.constraint_hits = 0
+        self.constraint_misses = 0
+        self.empty_hits = 0
+        self.empty_misses = 0
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "constraint_hits": self.constraint_hits,
+            "constraint_misses": self.constraint_misses,
+            "constraint_hit_rate": self._rate(self.constraint_hits, self.constraint_misses),
+            "empty_hits": self.empty_hits,
+            "empty_misses": self.empty_misses,
+            "empty_hit_rate": self._rate(self.empty_hits, self.empty_misses),
+        }
+
+
+CACHE_STATS = CacheStats()
+
+# Hash-consing table: raw (LinExpr, is_eq) -> normalized Constraint.  Two
+# different raw expressions may normalize to equal constraints; the table is
+# a cache keyed by input, not a canonical-instance registry, so `==` (not
+# `is`) remains the identity notion.
+_CONSTRAINT_INTERN: "dict[tuple[LinExpr, bool], Constraint]" = {}
+_INTERN_MAX = 1 << 18
+
+# Value cache for BasicSet.is_empty keyed by set value (dims/exists/
+# constraints hash equality), so structurally identical sets built at
+# different times share one Fourier-Motzkin run.
+_EMPTY_CACHE: "dict[BasicSet, bool]" = {}
+_EMPTY_MAX = 1 << 16
+
+
+def cache_stats() -> CacheStats:
+    """The process-wide iset cache counters."""
+    return CACHE_STATS
+
+
+def reset_caches() -> None:
+    """Drop the hash-consing tables and zero the counters (test isolation)."""
+    _CONSTRAINT_INTERN.clear()
+    _EMPTY_CACHE.clear()
+    CACHE_STATS.reset()
+
+
 class Constraint:
-    """``expr == 0`` (is_eq) or ``expr >= 0`` — normalized over the integers."""
+    """``expr == 0`` (is_eq) or ``expr >= 0`` — normalized over the integers.
+
+    Instances are hash-consed: constructing the same (expr, is_eq) twice
+    returns the cached normalized object, skipping content/sign
+    normalization.  This is purely a cache — equality stays structural.
+    """
 
     __slots__ = ("expr", "is_eq", "_hash")
 
-    def __init__(self, expr: LinExpr, is_eq: bool):
+    def __new__(cls, expr: LinExpr, is_eq: bool):
         expr = LinExpr.of(expr)
+        key = (expr, is_eq)
+        cached = _CONSTRAINT_INTERN.get(key)
+        if cached is not None:
+            CACHE_STATS.constraint_hits += 1
+            return cached
+        CACHE_STATS.constraint_misses += 1
+        self = super().__new__(cls)
+        self._normalize(expr, is_eq)
+        if len(_CONSTRAINT_INTERN) >= _INTERN_MAX:
+            _CONSTRAINT_INTERN.clear()
+        _CONSTRAINT_INTERN[key] = self
+        return self
+
+    def _normalize(self, expr: LinExpr, is_eq: bool) -> None:
         g = expr.content()
         if g > 1:
             const = expr.constant
@@ -55,6 +133,11 @@ class Constraint:
         self.expr = expr
         self.is_eq = is_eq
         self._hash = hash((expr, is_eq))
+
+    def __init__(self, expr: LinExpr, is_eq: bool):
+        # all state is set in __new__ (possibly served from the intern
+        # table); nothing to do here
+        pass
 
     # -- constructors --------------------------------------------------
     @staticmethod
@@ -356,7 +439,22 @@ class BasicSet:
         unit-coefficient equality are substituted first (exact), so that
         divisibility contradictions like ``{j = 0, 2i + j + 1 = 0}`` are
         found regardless of name order.
+
+        Results are memoized by set value: structurally equal sets (same
+        dims, exists, constraint set) share one Fourier-Motzkin run.
         """
+        cached = _EMPTY_CACHE.get(self)
+        if cached is not None:
+            CACHE_STATS.empty_hits += 1
+            return cached
+        CACHE_STATS.empty_misses += 1
+        result = self._is_empty_uncached()
+        if len(_EMPTY_CACHE) >= _EMPTY_MAX:
+            _EMPTY_CACHE.clear()
+        _EMPTY_CACHE[self] = result
+        return result
+
+    def _is_empty_uncached(self) -> bool:
         cons = list(self.constraints)
         for c in cons:
             if c.is_trivially_false():

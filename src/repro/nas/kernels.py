@@ -237,6 +237,111 @@ chpf$ distribute tmpl(block, block) onto procs
       end
 """
 
+# NPB SP's compute_rhs (compacted like COMPUTE_RHS_BT above): SP keeps the
+# additional speed/ainv fields, copies the forcing array into rhs before the
+# stencil sweeps, and scales rhs by dt at the end.  SP is partitioned 2-D on
+# (j, k) in the paper's experiments, so the i/m dimensions stay on-processor.
+COMPUTE_RHS_SP = """
+      subroutine compute_rhs(n)
+      integer n, i, j, k, m, onetrip
+      parameter (nx = 12)
+      double precision rho_i(0:nx,0:nx,0:nx), us(0:nx,0:nx,0:nx)
+      double precision vs(0:nx,0:nx,0:nx), ws(0:nx,0:nx,0:nx)
+      double precision speed(0:nx,0:nx,0:nx), ainv(0:nx,0:nx,0:nx)
+      double precision square(0:nx,0:nx,0:nx), qs(0:nx,0:nx,0:nx)
+      double precision u(0:nx,0:nx,0:nx,5), rhs(0:nx,0:nx,0:nx,5)
+      double precision forcing(0:nx,0:nx,0:nx,5)
+      double precision rho_inv, aux, c1c2, c2, dt
+      common /fields/ u, rhs, forcing
+chpf$ processors procs(2,2)
+chpf$ template tmpl(0:nx,0:nx)
+chpf$ align rho_i(i,j,k) with tmpl(j,k)
+chpf$ align us(i,j,k) with tmpl(j,k)
+chpf$ align vs(i,j,k) with tmpl(j,k)
+chpf$ align ws(i,j,k) with tmpl(j,k)
+chpf$ align speed(i,j,k) with tmpl(j,k)
+chpf$ align ainv(i,j,k) with tmpl(j,k)
+chpf$ align square(i,j,k) with tmpl(j,k)
+chpf$ align qs(i,j,k) with tmpl(j,k)
+chpf$ align u(i,j,k,m) with tmpl(j,k)
+chpf$ align rhs(i,j,k,m) with tmpl(j,k)
+chpf$ align forcing(i,j,k,m) with tmpl(j,k)
+chpf$ distribute tmpl(block, block) onto procs
+chpf$ independent, localize(rho_i, us, vs, ws, speed, ainv, square, qs)
+      do onetrip = 1, 1
+         do k = 0, n - 1
+            do j = 0, n - 1
+               do i = 0, n - 1
+                  rho_inv = 1.0d0/u(i,j,k,1)
+                  rho_i(i,j,k) = rho_inv
+                  us(i,j,k) = u(i,j,k,2)*rho_inv
+                  vs(i,j,k) = u(i,j,k,3)*rho_inv
+                  ws(i,j,k) = u(i,j,k,4)*rho_inv
+                  square(i,j,k) = 0.5d0*(u(i,j,k,2)*u(i,j,k,2) +
+     &               u(i,j,k,3)*u(i,j,k,3) +
+     &               u(i,j,k,4)*u(i,j,k,4))*rho_inv
+                  qs(i,j,k) = square(i,j,k)*rho_inv
+                  aux = c1c2*rho_inv*(u(i,j,k,5) - square(i,j,k))
+                  speed(i,j,k) = sqrt(aux)
+                  ainv(i,j,k) = 1.0d0/speed(i,j,k)
+               enddo
+            enddo
+         enddo
+         do k = 0, n - 1
+            do j = 0, n - 1
+               do i = 0, n - 1
+                  do m = 1, 5
+                     rhs(i,j,k,m) = forcing(i,j,k,m)
+                  enddo
+               enddo
+            enddo
+         enddo
+         do k = 1, n - 2
+            do j = 1, n - 2
+               do i = 1, n - 2
+                  rhs(i,j,k,2) = rhs(i,j,k,2) + c2*(square(i+1,j,k)
+     &               - square(i-1,j,k)) + us(i+1,j,k) - us(i-1,j,k)
+                  rhs(i,j,k,3) = rhs(i,j,k,3) + vs(i+1,j,k) - vs(i-1,j,k)
+                  rhs(i,j,k,4) = rhs(i,j,k,4) + ws(i+1,j,k) - ws(i-1,j,k)
+                  rhs(i,j,k,5) = rhs(i,j,k,5) + qs(i+1,j,k) - qs(i-1,j,k)
+     &               + rho_i(i+1,j,k) - rho_i(i-1,j,k)
+               enddo
+            enddo
+         enddo
+         do k = 1, n - 2
+            do j = 1, n - 2
+               do i = 1, n - 2
+                  rhs(i,j,k,3) = rhs(i,j,k,3) + c2*(square(i,j+1,k)
+     &               - square(i,j-1,k)) + vs(i,j+1,k) - vs(i,j-1,k)
+                  rhs(i,j,k,5) = rhs(i,j,k,5) + qs(i,j+1,k) - qs(i,j-1,k)
+     &               + rho_i(i,j+1,k) - rho_i(i,j-1,k)
+               enddo
+            enddo
+         enddo
+         do k = 1, n - 2
+            do j = 1, n - 2
+               do i = 1, n - 2
+                  rhs(i,j,k,4) = rhs(i,j,k,4) + c2*(square(i,j,k+1)
+     &               - square(i,j,k-1)) + ws(i,j,k+1) - ws(i,j,k-1)
+                  rhs(i,j,k,5) = rhs(i,j,k,5) + qs(i,j,k+1) - qs(i,j,k-1)
+     &               + rho_i(i,j,k+1) - rho_i(i,j,k-1)
+               enddo
+            enddo
+         enddo
+         do k = 1, n - 2
+            do j = 1, n - 2
+               do i = 1, n - 2
+                  do m = 1, 5
+                     rhs(i,j,k,m) = rhs(i,j,k,m)*dt
+                  enddo
+               enddo
+            enddo
+         enddo
+      enddo
+      return
+      end
+"""
+
 #: all kernels by figure number, for harness enumeration
 PAPER_KERNELS = {
     "fig4.1": LHSY_SP,

@@ -141,7 +141,12 @@ def add(u: np.ndarray, rhs: np.ndarray, region: tuple[slice, slice, slice] | Non
 # ---------------------------------------------------------------------------
 
 def sp_build_lhs(
-    u: np.ndarray, axis: int, variant: int = 0, glo: int = 0, gn: int | None = None
+    u: np.ndarray,
+    axis: int,
+    variant: int = 0,
+    glo: int = 0,
+    gn: int | None = None,
+    recip: tuple | None = None,
 ) -> np.ndarray:
     """Pentadiagonal bands (5, n_local, ...) for lines along *axis*.
 
@@ -154,8 +159,11 @@ def sp_build_lhs(
     rows, rows interior to the *local* array get the stencil build, and the
     extreme local rows (ghost edges without a u neighbor) are left zero —
     their true values arrive via the pipelined write-back protocol.
+
+    ``recip`` is an optional precomputed ``compute_reciprocals(u)`` tuple;
+    the three variants of a sweep share one, saving two recomputations.
     """
-    rho_i, us, vs, ws, _sq, _qs = compute_reciprocals(u)
+    rho_i, us, vs, ws, _sq, _qs = recip if recip is not None else compute_reciprocals(u)
     cv = (us, vs, ws)[axis]
     cvm = np.moveaxis(cv, axis, 0)
     rhom = np.moveaxis(rho_i, axis, 0)
@@ -172,15 +180,17 @@ def sp_build_lhs(
     lhs[1][i] = -DTT2 * cvm[im1] - rhon[im1] * 0.1 + shift
     lhs[2][i] = 1.0 + C2 * 2.0 * rhon[i] * 0.1
     lhs[3][i] = DTT2 * cvm[ip1] - rhon[ip1] * 0.1 - shift
-    # dissipation widens to pentadiagonal on rows >= 2 from each global end
-    for r in range(1, n - 1):
-        g = glo + r
-        if 2 <= g <= gn - 3:
-            lhs[0][r] += DISS * 0.5
-            lhs[1][r] += -DISS * 2.0
-            lhs[2][r] += DISS * 3.0
-            lhs[3][r] += -DISS * 2.0
-            lhs[4][r] += DISS * 0.5
+    # dissipation widens to pentadiagonal on rows >= 2 from each global end:
+    # local rows r with 2 <= glo+r <= gn-3, clipped to the built range 1..n-2
+    r0 = max(1, 2 - glo)
+    r1 = min(n - 2, gn - 3 - glo)
+    if r0 <= r1:
+        d = slice(r0, r1 + 1)
+        lhs[0][d] += DISS * 0.5
+        lhs[1][d] += -DISS * 2.0
+        lhs[2][d] += DISS * 3.0
+        lhs[3][d] += -DISS * 2.0
+        lhs[4][d] += DISS * 0.5
     # global boundary rows: identity
     if glo == 0:
         lhs[0][0] = lhs[1][0] = lhs[3][0] = lhs[4][0] = 0.0
@@ -243,8 +253,9 @@ def sp_solve_line_system(lhs: np.ndarray, rhs: np.ndarray) -> None:
 def sp_sweep(u: np.ndarray, rhs: np.ndarray, axis: int) -> None:
     """One SP directional sweep: build the three systems and solve them."""
     rm = np.moveaxis(rhs, axis, 0)
+    recip = compute_reciprocals(u)
     for variant, comps in ((0, slice(0, 3)), (1, slice(3, 4)), (2, slice(4, 5))):
-        lhs = sp_build_lhs(u, axis, variant)
+        lhs = sp_build_lhs(u, axis, variant, recip=recip)
         sp_solve_line_system(lhs, rm[..., comps])
 
 

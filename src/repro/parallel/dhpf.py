@@ -271,13 +271,18 @@ class _Tile:
                 rfull = np.moveaxis(self.rhs, dim, 0)
                 rfull[ob_g + 1 : ob_g + 3] = data
 
+        # LOCALIZE once per sweep: the three variant builds share the same
+        # reciprocal arrays, so compute them a single time.
+        recip = ops.compute_reciprocals(self.u) if self.functional else None
         for variant, comps in SP_VARIANTS:
             ncomp = comps.stop - comps.start
             row_elems_fwd = 2 * other.local_n * (5 + ncomp)  # per x column
             row_elems_bwd = 2 * other.local_n * ncomp
 
             if self.functional:
-                lhs = ops.sp_build_lhs(self.u, dim, variant, glo=blk.glo, gn=gn)
+                lhs = ops.sp_build_lhs(
+                    self.u, dim, variant, glo=blk.glo, gn=gn, recip=recip
+                )
                 # lhs dims: (5, line, x?, other) — moveaxis put `dim` first;
                 # remaining dims keep original order, so x is dim index 1.
                 rm = np.moveaxis(self.rhs, dim, 0)[..., comps]

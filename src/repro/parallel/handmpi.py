@@ -93,30 +93,60 @@ def make_handmpi_node(
         cells = mp.cells_of(me)
         my_points = sum(_cell_points(c) for c in cells)
 
+        # ---- iteration-invariant schedules, built once per rank ----
+        # copy_faces: exchange cell faces with differently-owned neighbor
+        # cells (gets all data needed by compute_rhs)
+        face_sends: list[tuple[int, int, int]] = []  # (peer, nelems, tag)
+        face_recvs: list[tuple[int, int]] = []
+        for c in cells:
+            for dim in range(3):
+                for delta, side in ((-1, 0), (+1, 1)):
+                    ncoords = list(c.coords)
+                    ncoords[dim] += delta
+                    if not (0 <= ncoords[dim] < mp.q):
+                        continue
+                    owner = mp.owner_of_cell(tuple(ncoords))
+                    if owner == me:
+                        continue
+                    nelems = opt.face_width * _face_area(c, dim) * NV
+                    tag = 10 + dim * 2 + side
+                    face_sends.append((owner, nelems, tag))
+                    face_recvs.append((owner, 10 + dim * 2 + (1 - side)))
+        # per-sweep-step (src, flops, dst, nelems) tuples per dimension
+        sweep_fwd: dict[int, list] = {}
+        sweep_bwd: dict[int, list] = {}
+        for dim in range(3):
+            fwd = []
+            for s in range(mp.q):
+                cell = mp.sweep_cell(me, dim, s)
+                src = mp.sweep_neighbor(me, dim, s, forward=False) if s > 0 else None
+                dst = mp.sweep_neighbor(me, dim, s, forward=True)
+                fwd.append(
+                    (src, 0.6 * sweep_pp * _cell_points(cell), dst,
+                     pipe_row * _face_area(cell, dim))
+                )
+            sweep_fwd[dim] = fwd
+            bwd = []
+            for s in range(mp.q - 1, -1, -1):
+                cell = mp.sweep_cell(me, dim, s)
+                src = (
+                    mp.sweep_neighbor(me, dim, s, forward=True)
+                    if s < mp.q - 1
+                    else None
+                )
+                dst = mp.sweep_neighbor(me, dim, s, forward=False)
+                bwd.append(
+                    (src, 0.4 * sweep_pp * _cell_points(cell), dst,
+                     (pipe_row // 2) * _face_area(cell, dim))
+                )
+            sweep_bwd[dim] = bwd
+
         start = checkpoint.store.latest_complete(rank.size) if checkpoint else 0
         for it in range(start, niter):
-            # ---- copy_faces: exchange cell faces with differently-owned
-            # neighbor cells (gets all data needed by compute_rhs) ----
             rank.set_phase("copy_faces")
-            sends: list[tuple[int, int, int]] = []  # (peer, nelems, tag)
-            recvs: list[tuple[int, int]] = []
-            for c in cells:
-                for dim in range(3):
-                    for delta, side in ((-1, 0), (+1, 1)):
-                        ncoords = list(c.coords)
-                        ncoords[dim] += delta
-                        if not (0 <= ncoords[dim] < mp.q):
-                            continue
-                        owner = mp.owner_of_cell(tuple(ncoords))
-                        if owner == me:
-                            continue
-                        nelems = opt.face_width * _face_area(c, dim) * NV
-                        tag = 10 + dim * 2 + side
-                        sends.append((owner, nelems, tag))
-                        recvs.append((owner, 10 + dim * 2 + (1 - side)))
-            for owner, nelems, tag in sends:
+            for owner, nelems, tag in face_sends:
                 rank.send(owner, nelems=nelems, tag=tag)
-            for owner, tag in recvs:
+            for owner, tag in face_recvs:
                 rank.recv(owner, tag=tag)
 
             rank.set_phase("compute_rhs")
@@ -125,36 +155,18 @@ def make_handmpi_node(
             # ---- three bi-directional sweeps: one cell per step, always ----
             for dim, phase in ((0, "x_solve"), (1, "y_solve"), (2, "z_solve")):
                 rank.set_phase(phase)
-                # forward
-                for s in range(mp.q):
-                    cell = mp.sweep_cell(me, dim, s)
-                    if s > 0:
-                        src = mp.sweep_neighbor(me, dim, s, forward=False)
-                        assert src is not None
+                for src, work, dst, nelems in sweep_fwd[dim]:
+                    if src is not None:
                         rank.recv(src, tag=40 + dim)
-                    rank.compute(0.6 * sweep_pp * _cell_points(cell))
-                    dst = mp.sweep_neighbor(me, dim, s, forward=True)
+                    rank.compute(work)
                     if dst is not None:
-                        rank.send(
-                            dst,
-                            nelems=pipe_row * _face_area(cell, dim),
-                            tag=40 + dim,
-                        )
-                # backward
-                for s in range(mp.q - 1, -1, -1):
-                    cell = mp.sweep_cell(me, dim, s)
-                    if s < mp.q - 1:
-                        src = mp.sweep_neighbor(me, dim, s, forward=True)
-                        assert src is not None
+                        rank.send(dst, nelems=nelems, tag=40 + dim)
+                for src, work, dst, nelems in sweep_bwd[dim]:
+                    if src is not None:
                         rank.recv(src, tag=60 + dim)
-                    rank.compute(0.4 * sweep_pp * _cell_points(cell))
-                    dst = mp.sweep_neighbor(me, dim, s, forward=False)
+                    rank.compute(work)
                     if dst is not None:
-                        rank.send(
-                            dst,
-                            nelems=(pipe_row // 2) * _face_area(cell, dim),
-                            tag=60 + dim,
-                        )
+                        rank.send(dst, nelems=nelems, tag=60 + dim)
 
             rank.set_phase("add")
             rank.compute(flops.ADD_PER_POINT * my_points)

@@ -38,13 +38,28 @@ class TestCompiledLhsy:
             for e in pts:
                 assert A["lhs"].get(e) == pytest.approx(lhsy_serial.get(e), abs=1e-13)
 
-    def test_generated_source_structure(self, lhsy_kernel):
-        src = lhsy_kernel.python_source()
+    def test_generated_source_structure(self):
+        ck = compile_kernel(
+            kernels.LHSY_SP, nprocs=4, params={"n": 17}, backend="scalar"
+        )
+        src = ck.python_source()
         assert "def node_program(rank, A, S, K):" in src
         assert "K.guard(G," in src  # CP guards realized
         assert "K.exec_comm(rank, A, 0, 'read')" in src
         assert "A['cv'].set(" in src
         compile(src, "<check>", "exec")  # must be valid Python
+
+    def test_generated_vector_source_structure(self, lhsy_kernel):
+        src = lhsy_kernel.python_source()
+        assert "backend vector" in src
+        assert "def node_program(rank, A, S, K):" in src
+        assert "K.exec_comm(rank, A, 0, 'read')" in src
+        assert "G.segments(" in src  # guards realized as contiguous runs
+        assert ".vset((" in src  # slice stores instead of scalar sets
+        compile(src, "<check>", "exec")  # must be valid Python
+        # every innermost affine j-loop of lhsy vectorizes
+        reports = list(lhsy_kernel.vector_report.values())
+        assert reports and all(r.status == "vector" for r in reports)
 
     def test_guards_partition_work(self, lhsy_kernel):
         """Each lhs element is written by exactly its owner; boundary cv
