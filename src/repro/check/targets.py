@@ -30,6 +30,36 @@ def _analyzed(source, nprocs: int, params: dict, subject: str) -> CheckReport:
     return verify_source(source, nprocs, params, subject=subject)
 
 
+#: a deliberately unanalyzable kernel: the second nest scatters through a
+#: non-affine subscript, so lenient compilation degrades it to replicated
+#: execution and the check report carries the I-FALLBACK record.
+DEGRADED_EXAMPLE = """
+      program degrade
+      parameter (n = 16)
+      real a(n), b(n)
+!hpf$ processors p(4)
+!hpf$ distribute a(block) onto p
+!hpf$ distribute b(block) onto p
+      do i = 1, n
+         a(i) = i * 1.0
+      enddo
+      do i = 1, n
+         b(mod(3*i, n) + 1) = a(i)
+      enddo
+      end
+"""
+
+
+def _degraded(nprocs: int, subject: str) -> CheckReport:
+    """Lenient compilation of :data:`DEGRADED_EXAMPLE`; the verifier merges
+    the kernel's degradation diagnostics into the report."""
+    from ..codegen import compile_kernel
+
+    report = verify_kernel(compile_kernel(DEGRADED_EXAMPLE, nprocs, strict=False))
+    report.subject = subject
+    return report
+
+
 def _fig61(params: dict, subject: str) -> CheckReport:
     """Figure 6.1 (x_solve_cell): inline the leaf routines, then compile."""
     from ..codegen import compile_kernel
@@ -95,6 +125,8 @@ def available_targets() -> dict[str, Callable[[], CheckReport]]:
         "bt-class-s": lambda: _compiled(
             kernels.COMPUTE_RHS_BT, 8, {"n": CLASS_S},
             "NAS BT compute_rhs, class S"),
+        "degraded-example": lambda: _degraded(
+            4, "graceful-degradation example (lenient)"),
     }
     if _examples_dir() is not None:
         targets.update({

@@ -109,7 +109,13 @@ def verify_kernel(
         schedule=schedule if schedule is not None
         else StaticSchedule.from_kernel(kernel),
     )
-    return verify_unit(unit)
+    report = verify_unit(unit)
+    sink = getattr(kernel, "sink", None)
+    if sink is not None and sink.diagnostics:
+        from ..diag import merge_into_report
+
+        merge_into_report(sink.diagnostics, report)
+    return report
 
 
 def verify_source(

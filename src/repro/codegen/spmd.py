@@ -7,19 +7,22 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
-from ..comm import CommAnalyzer, CommPlan
+from ..comm import CommAnalyzer, CommEvent, CommPlan, Placement
 from ..cp.loopdist import CPGrouper
 from ..cp.localize import propagate_localize_cps
-from ..cp.model import cp_iteration_set, cp_key
+from ..cp.model import CP, cp_iteration_set, cp_key
 from ..cp.nest import NestInfo
 from ..cp.privatizable import propagate_new_cps
 from ..cp.select import CPSelector, StatementCP
+from ..diag import E_UNSUPPORTED, W_BUDGET, DiagnosticSink
 from ..distrib.layout import DistributionContext, PDIM
 from ..frontend import parse_source
+from ..ir.expr import ArrayRef, Var
 from ..ir.interp import FortranArray, fortran_mod, fortran_nint, fortran_sign
-from ..ir.program import Subroutine
+from ..ir.program import Program, Subroutine
 from ..ir.stmt import Assign, CallStmt, Continue, DoLoop, IfThen, Return, Stmt
-from ..ir.visit import walk_stmts
+from ..ir.visit import collect_array_refs, walk_stmts
+from ..isets import BudgetExceeded, IsetBudget, iset_budget
 from ..runtime.sim import Rank, VirtualMachine
 from .pyemit import emit_assign_target, emit_expr
 
@@ -33,10 +36,270 @@ class CodegenUnsupported(Exception):
 # compile driver
 # ---------------------------------------------------------------------------
 
+def _analyze_one_nest(
+    item: DoLoop,
+    ctx: DistributionContext,
+    merged: dict[str, int],
+    sel: CPSelector,
+    grouper: CPGrouper,
+) -> "tuple[dict[int, StatementCP], CommPlan, set[str], set[str]]":
+    """The per-nest half of :func:`analyze_program`: CP selection,
+    NEW/LOCALIZE propagation, comm-sensitive grouping, comm analysis."""
+    cps = sel.select(item, merged)
+    # NEW anywhere in this nest: propagate across the whole nest (the
+    # paper's privatization scope is the enclosing parallel loop; uses
+    # live in sibling loops of the definition)
+    new_vars: list[str] = []
+    for loop in walk_stmts([item]):
+        if isinstance(loop, DoLoop) and loop.directive:
+            new_vars.extend(loop.directive.new_vars)
+    privs = {v.lower() for v in new_vars}
+    if new_vars:
+        propagate_new_cps(item, new_vars, cps, NestInfo(item, merged), ctx)
+    # LOCALIZE scope
+    locs: set[str] = set()
+    if item.directive and item.directive.localize_vars:
+        locs = {v.lower() for v in item.directive.localize_vars}
+        propagate_localize_cps(item, item.directive.localize_vars, cps, ctx, merged)
+    # communication-sensitive grouping for the remaining local choices
+    res = grouper.group(item, cps=cps, params=merged)
+    cps = res.cps
+    no_comm: set[str] = set()
+    for loop in walk_stmts([item]):
+        if isinstance(loop, DoLoop) and loop.directive:
+            no_comm |= {v.lower() for v in loop.directive.new_vars}
+            no_comm |= {v.lower() for v in loop.directive.localize_vars}
+    plan = CommAnalyzer(item, cps, ctx, merged, exclude_arrays=no_comm).analyze()
+    return cps, plan, privs, locs
+
+
+def _expr_scalar_names(e) -> set[str]:
+    """Lower-cased names of every scalar Var in an expression tree."""
+    return {n.name.lower() for n in e.walk() if isinstance(n, Var)}
+
+
+def _loop_bound_exprs(loop: DoLoop) -> tuple:
+    return (loop.lo, loop.hi) + ((loop.step,) if loop.step is not None else ())
+
+
+def _nest_degrade_reason(
+    item: DoLoop,
+    cps: "dict[int, StatementCP]",
+    plan: CommPlan,
+    ctx: DistributionContext,
+    merged: Mapping[str, int],
+    private: "frozenset[str] | set[str]" = frozenset(),
+) -> "str | None":
+    """Why generated code for this *analyzed* nest would be incorrect (or
+    unbuildable), or None if the analysis covered everything.
+
+    These are exactly the constructs the analysis pipeline silently skips —
+    non-affine subscripts or bounds, runtime-scalar subscripts/trip counts,
+    distributed reads in IF conditions, partitioned or read-modify writes to
+    undistributed (replicated) arrays, pipelined placements — for which
+    emitted code would read stale non-local data, race on shared data, or
+    fail route binding.  ``private`` names NEW/LOCALIZE arrays whose
+    partitioned handling is already correct by construction."""
+    nest = NestInfo(item, merged)
+    known = set(merged)
+    loop_vars = {
+        s.var.lower() for s in walk_stmts([item]) if isinstance(s, DoLoop)
+    }
+    dist_touch = False
+    shared_repl_writes: set[str] = set()
+    read_names: set[str] = set()
+    for s in walk_stmts([item]):
+        if isinstance(s, IfThen):
+            for ref in collect_array_refs(s.cond):
+                read_names.add(ref.name.lower())
+                if ctx.is_distributed(ref.name):
+                    return f"IF condition reads distributed array {ref.name!r}"
+        elif isinstance(s, DoLoop):
+            for e in _loop_bound_exprs(s):
+                for ref in collect_array_refs(e):
+                    read_names.add(ref.name.lower())
+                    if ctx.is_distributed(ref.name):
+                        return f"loop bound reads distributed array {ref.name!r}"
+        elif isinstance(s, Assign):
+            read_names |= {r.name.lower() for r in collect_array_refs(s.rhs)}
+            refs = list(collect_array_refs(s.rhs))
+            if isinstance(s.lhs, ArrayRef):
+                refs.append(s.lhs)
+                for e in s.lhs.subscripts:
+                    for r in collect_array_refs(e):
+                        refs.append(r)
+                        read_names.add(r.name.lower())
+                lname = s.lhs.name.lower()
+                if lname not in private and ctx.layout(lname) is None:
+                    scp = cps.get(s.sid)
+                    if scp is not None and not scp.cp.is_replicated:
+                        # each rank would write only its slice of an array
+                        # every rank is supposed to hold in full
+                        return (
+                            f"partitioned write to undistributed array {lname!r}"
+                        )
+                    shared_repl_writes.add(lname)
+            drefs = [r for r in refs if ctx.is_distributed(r.name)]
+            if not drefs:
+                continue
+            dist_touch = True
+            scp = cps.get(s.sid)
+            if scp is not None and not scp.cp.is_replicated and nest.bounds_of(s) is None:
+                return "non-affine loop structure around a partitioned statement"
+            for r in drefs:
+                if r.affine_subscripts() is None:
+                    return f"non-affine subscript on distributed array {r.name!r}"
+                for sub_e in r.subscripts:
+                    free = _expr_scalar_names(sub_e) - loop_vars - known
+                    if free:
+                        return (
+                            f"subscript of {r.name!r} uses runtime scalar "
+                            f"{sorted(free)[0]!r}"
+                        )
+            if (
+                scp is not None
+                and not scp.cp.is_replicated
+                and isinstance(s.lhs, ArrayRef)
+                and ctx.is_distributed(s.lhs.name)
+                and s.lhs.name.lower() not in private
+            ):
+                # NEW/LOCALIZE arrays are per-rank private copies, so a
+                # non-owner-computes write cannot race across ranks
+                reason = _output_race_reason(s, scp, nest, ctx)
+                if reason is not None:
+                    return reason
+    # an array both written in the nest and fetched by a hoisted read event
+    # has an intra-nest cross-rank dependence; the MPI target's pre-nest
+    # copy-in handles the anti direction, but the shmem target realizes the
+    # event as a bare barrier, so another rank's write can overtake the read
+    written_names = {
+        s.lhs.name.lower()
+        for s in walk_stmts([item])
+        if isinstance(s, Assign) and isinstance(s.lhs, ArrayRef)
+    }
+    for ev in plan.live_events():
+        if ev.kind == "read" and ev.array.lower() in written_names:
+            return (
+                f"array {ev.array!r} is both communicated and written "
+                "within the nest"
+            )
+        # a writeback means non-owner ranks hold the fresh values until the
+        # post-nest merge, so any same-nest read of that array on the owner
+        # sees stale data (a flow dependence routed through the writeback)
+        if ev.kind == "writeback" and ev.array.lower() in read_names:
+            return (
+                f"array {ev.array!r} is read in the nest but written "
+                "non-owner-computes (stale reads before the writeback merges)"
+            )
+    racy = shared_repl_writes & read_names
+    if racy:
+        # replicated writes to a shared (undistributed) array the nest also
+        # reads are not idempotent under the shmem target's concurrent
+        # re-execution; degraded nests run single-writer there instead
+        return (
+            f"replicated write to shared array {sorted(racy)[0]!r} "
+            "that the nest also reads"
+        )
+    if dist_touch or plan.live_events():
+        for s in walk_stmts([item]):
+            if isinstance(s, DoLoop):
+                for e in _loop_bound_exprs(s):
+                    free = _expr_scalar_names(e) - loop_vars - known
+                    if free:
+                        return f"loop bound uses runtime scalar {sorted(free)[0]!r}"
+    for ev in plan.live_events():
+        if ev.placement.pipelined:
+            return f"pipelined communication for array {ev.array!r}"
+    return None
+
+
+def _output_race_reason(s: Assign, scp: StatementCP, nest, ctx) -> "str | None":
+    """Cross-rank output-race check for a partitioned distributed write.
+
+    Owner-computes (the CP's home is the lhs reference itself) serializes
+    same-element writes on the owning rank, preserving serial order.  Under
+    any other home, writes reach the owner via write-back messages from
+    whichever ranks execute the writing iterations — safe only if distinct
+    iterations write distinct elements, i.e. the lhs subscripts use each
+    enclosing loop variable in exactly one position."""
+    from ..cp.model import OnHomeRef
+
+    lhs_term = OnHomeRef.from_ref(s.lhs)
+    lhs_key = cp_key(lhs_term, ctx) if lhs_term is not None else None
+    term_keys = {cp_key(t, ctx) for t in scp.cp.terms}
+    if lhs_key is not None and lhs_key in term_keys:
+        return None  # owner-computes
+    enclosing = {loop.var.lower() for loop in nest.loops_of(s)}
+    sub_vars = [_expr_scalar_names(e) & enclosing for e in s.lhs.subscripts]
+    flat = [v for vs in sub_vars for v in vs]
+    injective = (
+        set(flat) == enclosing
+        and len(flat) == len(set(flat))
+        and all(len(vs) <= 1 for vs in sub_vars)
+    )
+    if not injective:
+        return (
+            f"possible cross-rank output race writing {s.lhs.name!r} "
+            "under a non-owner-computes partitioning"
+        )
+    return None
+
+
+def _replicated_nest(
+    item: DoLoop,
+    ctx: DistributionContext,
+    budget: "IsetBudget | None" = None,
+) -> "tuple[dict[int, StatementCP], CommPlan]":
+    """Conservative fallback plan for one nest: every rank executes every
+    iteration (CP = replicated) on data made consistent by one pre-nest
+    broadcast per distributed array the nest reads (each rank fetches the
+    declared-bounds box minus its own elements from the owners).
+
+    Correct by construction: after the broadcast every rank holds the
+    owner's value of every element it may read; all ranks then compute
+    identical values — including each owner for its own elements — so no
+    write-back is needed and later nests still see owner-valid data.
+    """
+    from contextlib import nullcontext
+
+    cps: dict[int, StatementCP] = {}
+    read_arrays: set[str] = set()
+    for s in walk_stmts([item]):
+        if isinstance(s, Assign):
+            cps[s.sid] = StatementCP(s, CP.replicated(), [], 0.0, source="fallback")
+            for ref in collect_array_refs(s.rhs):
+                read_arrays.add(ref.name.lower())
+            if isinstance(s.lhs, ArrayRef):
+                for e in s.lhs.subscripts:
+                    for ref in collect_array_refs(e):
+                        read_arrays.add(ref.name.lower())
+        elif isinstance(s, IfThen):
+            for ref in collect_array_refs(s.cond):
+                read_arrays.add(ref.name.lower())
+        elif isinstance(s, DoLoop):
+            for e in _loop_bound_exprs(s):
+                for ref in collect_array_refs(e):
+                    read_arrays.add(ref.name.lower())
+    events: list[CommEvent] = []
+    guard = budget.suspend() if budget is not None else nullcontext()
+    with guard:
+        for name in sorted(read_arrays):
+            layout = ctx.layout(name)
+            if layout is None:
+                continue
+            data = ctx.declared_bounds_set(name).subtract(layout.ownership())
+            if data.is_empty():
+                continue
+            events.append(CommEvent(name, "read", item, None, data, Placement(0), ()))
+    return cps, CommPlan(events, (item,), frozenset())
+
+
 def analyze_program(
     sub: Subroutine,
     ctx: DistributionContext,
     merged: Mapping[str, int],
+    sink: "DiagnosticSink | None" = None,
+    budget: "IsetBudget | None" = None,
 ) -> "tuple[dict[int, StatementCP], list[tuple[DoLoop, CommPlan]], set[str], set[str]]":
     """Run the dHPF analysis pipeline (CP selection, NEW/LOCALIZE
     propagation, comm-sensitive grouping, communication analysis) on every
@@ -47,6 +310,13 @@ def analyze_program(
     static verifier (:mod:`repro.check`) uses it directly so that kernels
     the code generator rejects (pipelined communication, §5) can still be
     verified.
+
+    With a lenient *sink* (``DiagnosticSink(strict=False)``), any nest the
+    pipeline cannot analyze soundly — a raised analysis error, a gap found
+    by :func:`_nest_degrade_reason`, or a tripped iset *budget* — degrades
+    to the replicated fallback of :func:`_replicated_nest` with an
+    ``I-FALLBACK`` (or ``W-BUDGET``) diagnostic, instead of crashing or
+    silently producing wrong code.
     """
     merged = dict(merged)
     cps_all: dict[int, StatementCP] = {}
@@ -55,44 +325,188 @@ def analyze_program(
     localized_arrays: set[str] = set()
     sel = CPSelector(ctx, eval_params=merged)
     grouper = CPGrouper(ctx, sel)
+    lenient = sink is not None and not sink.strict
+    nest_idx = -1
     for item in sub.body:
         if not isinstance(item, DoLoop):
             continue
-        cps = sel.select(item, merged)
-        # NEW anywhere in this nest: propagate across the whole nest (the
-        # paper's privatization scope is the enclosing parallel loop; uses
-        # live in sibling loops of the definition)
-        new_vars: list[str] = []
-        for loop in walk_stmts([item]):
-            if isinstance(loop, DoLoop) and loop.directive:
-                new_vars.extend(loop.directive.new_vars)
-        if new_vars:
-            private_arrays |= {v.lower() for v in new_vars}
-            propagate_new_cps(item, new_vars, cps, NestInfo(item, merged), ctx)
-        # LOCALIZE scope
-        if item.directive and item.directive.localize_vars:
-            localized_arrays |= {v.lower() for v in item.directive.localize_vars}
-            propagate_localize_cps(item, item.directive.localize_vars, cps, ctx, merged)
-        # communication-sensitive grouping for the remaining local choices
-        res = grouper.group(item, cps=cps, params=merged)
-        cps = res.cps
-        no_comm: set[str] = set()
-        for loop in walk_stmts([item]):
-            if isinstance(loop, DoLoop) and loop.directive:
-                no_comm |= {v.lower() for v in loop.directive.new_vars}
-                no_comm |= {v.lower() for v in loop.directive.localize_vars}
-        plan = CommAnalyzer(item, cps, ctx, merged, exclude_arrays=no_comm).analyze()
+        nest_idx += 1
+        if not lenient:
+            cps, plan, privs, locs = _analyze_one_nest(item, ctx, merged, sel, grouper)
+        else:
+            reason = None
+            cps, plan, privs, locs = {}, None, set(), set()
+            try:
+                cps, plan, privs, locs = _analyze_one_nest(
+                    item, ctx, merged, sel, grouper
+                )
+                reason = _nest_degrade_reason(
+                    item, cps, plan, ctx, merged, private=privs | locs
+                )
+            except BudgetExceeded as exc:
+                if budget is not None:
+                    budget.reset_ops()  # fresh window for the remaining nests
+                sink.warn(str(exc), code=W_BUDGET, pass_name="isets", nest=nest_idx)
+                reason = str(exc)
+            except Exception as exc:  # degrade, never crash
+                reason = f"{type(exc).__name__}: {exc}"
+            if reason is not None:
+                sink.fallback(
+                    f"nest degraded to replicated execution: {reason}",
+                    pass_name="cp", nest=nest_idx,
+                )
+                cps, plan = _replicated_nest(item, ctx, budget)
+                privs, locs = set(), set()
+        private_arrays |= privs
+        localized_arrays |= locs
         cps_all.update(cps)
         nest_plans.append((item, plan))
     return cps_all, nest_plans, private_arrays, localized_arrays
 
 
+def _strip_directives(sub: Subroutine) -> Subroutine:
+    """Deep copy of *sub* with every HPF directive removed (declarative and
+    loop-level).  With no DISTRIBUTE in scope nothing is distributed, so CP
+    selection replicates every statement and no communication is generated —
+    the maximally conservative, trivially correct compilation."""
+    import copy
+
+    bare = copy.deepcopy(sub)
+    bare.processors = []
+    bare.templates = []
+    bare.aligns = []
+    bare.distributes = []
+    for s in walk_stmts(bare.body):
+        if isinstance(s, DoLoop):
+            s.directive = None
+    return bare
+
+
+def _flatten_program(prog: Program, sink: DiagnosticSink) -> Subroutine:
+    """Lenient handling of multi-unit programs: inline every call bottom-up
+    (callee-first) and return the root unit.  Raises a typed
+    :class:`CompileError` (via *sink*) if a call cannot be inlined."""
+    from ..transform.inline import InlineError, inline_calls
+
+    order = prog.bottom_up_order()  # CompileError on recursion propagates
+    called = {c.name.lower() for u in order for c in u.calls()}
+    root = prog.main
+    if root is None:
+        uncalled = [u for u in order if u.name.lower() not in called]
+        root = uncalled[-1] if uncalled else order[-1]
+    for callee in order:
+        if callee is root:
+            continue
+        for caller in order:
+            if any(c.name.lower() == callee.name.lower() for c in caller.calls()):
+                try:
+                    n = inline_calls(prog, caller.name, callee.name)
+                except InlineError as exc:
+                    sink.error(
+                        f"cannot inline CALL {callee.name}: {exc}",
+                        code=E_UNSUPPORTED,
+                        pass_name="ir",
+                    )
+                    raise sink.as_error()
+                if n:
+                    sink.fallback(
+                        f"inlined {n} call(s) to {callee.name} into "
+                        f"{caller.name} for single-unit compilation",
+                        pass_name="ir",
+                    )
+    return root
+
+
+def _stmt_array_refs(s: Stmt) -> "list[ArrayRef]":
+    """Every ArrayRef a statement (and its children) touches."""
+    refs: list[ArrayRef] = []
+    for u in walk_stmts([s]):
+        if isinstance(u, Assign):
+            refs.extend(collect_array_refs(u.rhs))
+            if isinstance(u.lhs, ArrayRef):
+                refs.append(u.lhs)
+                for e in u.lhs.subscripts:
+                    refs.extend(collect_array_refs(e))
+        elif isinstance(u, IfThen):
+            refs.extend(collect_array_refs(u.cond))
+        elif isinstance(u, DoLoop):
+            for e in _loop_bound_exprs(u):
+                refs.extend(collect_array_refs(e))
+    return refs
+
+
+def _build_lenient(
+    sub: Subroutine,
+    nprocs: int,
+    params: "dict[str, int]",
+    backend: str,
+    sink: DiagnosticSink,
+    budget: IsetBudget,
+) -> "CompiledKernel":
+    """One lenient compilation attempt.  Any exception escaping this
+    function means the *whole program* must fall back to the
+    directive-stripped replicated compilation (handled by the caller)."""
+    ctx = DistributionContext(sub, nprocs, params)
+    grid = ctx.the_grid()
+    if grid.size != nprocs:
+        raise ValueError(
+            f"processor grid {grid.name} has size {grid.size}, "
+            f"but nprocs={nprocs}"
+        )
+    # Top-level statements outside any DO nest that touch distributed arrays
+    # have no nest plan to carry their communication; the stripped program
+    # (nothing distributed) executes them correctly on every rank.
+    for s in sub.body:
+        if isinstance(s, DoLoop):
+            continue
+        for ref in _stmt_array_refs(s):
+            if ctx.is_distributed(ref.name):
+                raise ValueError(
+                    f"top-level statement touches distributed array {ref.name!r}"
+                )
+    merged = {**sub.symbols.parameter_values(), **params}
+    with iset_budget(budget):
+        cps_all, nest_plans, private_arrays, localized_arrays = analyze_program(
+            sub, ctx, merged, sink=sink, budget=budget
+        )
+    degraded_nests = {
+        idx
+        for idx, (item, _) in enumerate(nest_plans)
+        if any(
+            cps_all.get(s.sid) is not None and cps_all[s.sid].source == "fallback"
+            for s in walk_stmts([item])
+            if isinstance(s, Assign)
+        )
+    }
+    if degraded_nests and (private_arrays or localized_arrays):
+        # NEW arrays are per-rank and LOCALIZE suppresses owner write-backs
+        # (owners may hold stale data) — a replicated nest reading either
+        # would see garbage.  Only the whole-program fallback is safe.
+        raise ValueError(
+            "degraded nest coexists with NEW/LOCALIZE arrays; "
+            "replicated execution cannot read privatized data"
+        )
+    kernel = CompiledKernel(
+        sub, ctx, merged, cps_all, nest_plans, nprocs, private_arrays,
+        localized_arrays, backend=backend, sink=sink, lenient=True,
+        degraded_nests=degraded_nests,
+    )
+    # Surface emission-time problems (unsupported statements, route binding)
+    # now, while the whole-program fallback is still available.
+    kernel.python_source("mpi")
+    kernel.python_source("shmem")
+    return kernel
+
+
 def compile_kernel(
-    source_or_sub: "str | Subroutine",
+    source_or_sub: "str | Subroutine | Program",
     nprocs: int,
     params: Mapping[str, int] | None = None,
     verify: bool = False,
     backend: str = "vector",
+    strict: bool = True,
+    sink: "DiagnosticSink | None" = None,
+    budget: "IsetBudget | None" = None,
 ) -> "CompiledKernel":
     """Run the full dHPF pipeline on a single program unit and build the
     executable SPMD kernel.
@@ -103,6 +517,17 @@ def compile_kernel(
     whenever safety cannot be proven; ``"scalar"`` always emits per-element
     loops.  Both backends produce bitwise-identical arrays.
 
+    ``strict=False`` selects the graceful-degradation pipeline: constructs
+    the analyses cannot handle (non-affine subscripts, runtime trip counts,
+    CALLs, pipelined communication, tripped iset budgets, ...) degrade the
+    enclosing nest — or, when necessary, the whole program — to replicated
+    execution instead of raising, each with an ``I-FALLBACK`` diagnostic on
+    the kernel's :class:`~repro.diag.DiagnosticSink`.  On well-formed input
+    lenient compilation never raises; ill-formed source still raises a
+    single :class:`~repro.diag.CompileError` carrying *all* collected
+    diagnostics.  Pass ``sink``/``budget`` to observe diagnostics and iset
+    resource usage; fresh ones are created otherwise.
+
     With ``verify=True`` the static SPMD verifier (:mod:`repro.check`) runs
     over the compiled kernel; errors raise
     :class:`repro.check.VerificationError` and the full report is attached
@@ -110,38 +535,97 @@ def compile_kernel(
     """
     if backend not in ("vector", "scalar"):
         raise ValueError(f"unknown codegen backend {backend!r}")
+    if sink is None:
+        sink = DiagnosticSink(strict=strict)
+    lenient = not sink.strict
     if isinstance(source_or_sub, str):
-        prog = parse_source(source_or_sub)
+        prog = parse_source(source_or_sub, sink if lenient else None)
+        if lenient and sink.has_errors:
+            raise sink.as_error("source has syntax errors")
         if len(prog.units) != 1:
+            if lenient:
+                sub = _flatten_program(prog, sink)
+            else:
+                raise CodegenUnsupported(
+                    "compile_kernel takes a single unit; interprocedural "
+                    "kernels are analyzed by repro.cp.interproc"
+                )
+        else:
+            sub = next(iter(prog.units.values()))
+    elif isinstance(source_or_sub, Program):
+        prog = source_or_sub
+        if len(prog.units) != 1 and lenient:
+            sub = _flatten_program(prog, sink)
+        elif len(prog.units) == 1:
+            sub = next(iter(prog.units.values()))
+        else:
             raise CodegenUnsupported(
-                "compile_kernel takes a single unit; interprocedural kernels "
-                "are analyzed by repro.cp.interproc"
+                "compile_kernel takes a single unit; interprocedural "
+                "kernels are analyzed by repro.cp.interproc"
             )
-        sub = next(iter(prog.units.values()))
     else:
         sub = source_or_sub
     params = dict(params or {})
-    ctx = DistributionContext(sub, nprocs, params)
-    merged = {**sub.symbols.parameter_values(), **params}
 
     for s in walk_stmts(sub.body):
         if isinstance(s, CallStmt):
+            if lenient:
+                sink.error(
+                    f"CALL {s.name} cannot be resolved to a defined unit",
+                    code=E_UNSUPPORTED,
+                    pass_name="codegen",
+                )
+                raise sink.as_error()
             raise CodegenUnsupported("CALL statements are not code-generated")
 
-    cps_all, nest_plans, private_arrays, localized_arrays = analyze_program(
-        sub, ctx, merged
-    )
-    for _, plan in nest_plans:
-        for ev in plan.live_events():
-            if ev.placement.pipelined:
-                raise CodegenUnsupported(
-                    f"pipelined communication for array {ev.array!r} "
-                    "(wavefront kernels are executed by repro.parallel.dhpf)"
+    if not lenient:
+        try:
+            ctx = DistributionContext(sub, nprocs, params)
+            merged = {**sub.symbols.parameter_values(), **params}
+            if budget is not None:
+                with iset_budget(budget):
+                    cps_all, nest_plans, private_arrays, localized_arrays = (
+                        analyze_program(sub, ctx, merged)
+                    )
+            else:
+                cps_all, nest_plans, private_arrays, localized_arrays = (
+                    analyze_program(sub, ctx, merged)
                 )
-    kernel = CompiledKernel(
-        sub, ctx, merged, cps_all, nest_plans, nprocs, private_arrays,
-        localized_arrays, backend=backend,
-    )
+            for _, plan in nest_plans:
+                for ev in plan.live_events():
+                    if ev.placement.pipelined:
+                        raise CodegenUnsupported(
+                            f"pipelined communication for array {ev.array!r} "
+                            "(wavefront kernels are executed by repro.parallel.dhpf)"
+                        )
+            kernel = CompiledKernel(
+                sub, ctx, merged, cps_all, nest_plans, nprocs, private_arrays,
+                localized_arrays, backend=backend, sink=sink,
+            )
+        except KeyError as exc:
+            # iset enumeration over symbols with no compile-time value (e.g.
+            # runtime-scalar loop bounds) surfaces as KeyError deep in the
+            # point enumerator; strict mode promises typed errors only
+            raise CodegenUnsupported(
+                f"analysis requires compile-time values: {exc}"
+            ) from exc
+    else:
+        if budget is None:
+            budget = IsetBudget()
+        try:
+            kernel = _build_lenient(sub, nprocs, params, backend, sink, budget)
+        except Exception as exc:
+            sink.fallback(
+                "whole-program replicated fallback: "
+                f"{type(exc).__name__}: {exc}",
+                pass_name="driver",
+            )
+            stripped = _strip_directives(sub)
+            with budget.suspend():
+                kernel = _build_lenient(
+                    stripped, nprocs, params, backend, sink, budget
+                )
+    kernel.budget = budget
     if verify:
         from ..check import VerificationError, verify_kernel
 
@@ -328,6 +812,9 @@ class CompiledKernel:
         private_arrays: "set[str] | None" = None,
         localized_arrays: "set[str] | None" = None,
         backend: str = "vector",
+        sink: "DiagnosticSink | None" = None,
+        lenient: bool = False,
+        degraded_nests: "set[int] | None" = None,
     ):
         self.sub = sub
         self.ctx = ctx
@@ -347,6 +834,15 @@ class CompiledKernel:
         self.localized_arrays = set(localized_arrays or ())
         #: filled in by compile_kernel(..., verify=True)
         self.verify_report = None
+        #: structured diagnostics collected while building this kernel
+        self.sink = sink
+        #: True when built by the graceful-degradation (strict=False) path
+        self.lenient = lenient
+        #: indices into nest_plans whose statements run replicated (fallback)
+        self.degraded_nests = set(degraded_nests or ())
+        #: iset resource budget charged during analysis (set by compile_kernel)
+        self.budget: "IsetBudget | None" = None
+        self._dropped_sids: set[int] = set()
         self.grid = ctx.the_grid()
         if self.grid.size != nprocs:
             raise ValueError(f"grid size {self.grid.size} != nprocs {nprocs}")
@@ -356,6 +852,17 @@ class CompiledKernel:
         self._guard_cache: dict[int, Guards] = {}
         self._sources: dict[str, str] = {}
         self._fns: dict[str, Callable] = {}
+
+    @property
+    def diagnostics(self) -> list:
+        """All structured diagnostics collected while compiling this kernel
+        (empty for strict compilations that attached no sink)."""
+        return list(self.sink.diagnostics) if self.sink is not None else []
+
+    @property
+    def fallback_diagnostics(self) -> list:
+        """Just the ``I-FALLBACK`` degradation records."""
+        return self.sink.fallbacks() if self.sink is not None else []
 
     # -- helpers exposed to generated code (the `K` object) -----------------------
     @staticmethod
@@ -604,11 +1111,20 @@ class CompiledKernel:
         nest_idx = 0
         for item in self.sub.body:
             if isinstance(item, DoLoop):
+                degraded = nest_idx in self.degraded_nests
                 if target == "mpi":
                     lines.append(f"    K.exec_comm(rank, A, {nest_idx}, 'read')")
                 else:
                     lines.append(f"    rank.barrier(tag={6000 + nest_idx})")
-                self._emit_stmt(item, lines, indent=1, locals_=set())
+                if degraded and target == "shmem":
+                    # Replicated fallback nests may read-modify-write; with a
+                    # shared address space every rank re-applying the update
+                    # would double-count, so rank 0 computes for everyone
+                    # (visible to all after the post-nest barrier).
+                    lines.append("    if rank.rank == 0:")
+                    self._emit_stmt(item, lines, indent=2, locals_=set())
+                else:
+                    self._emit_stmt(item, lines, indent=1, locals_=set())
                 if target == "mpi":
                     lines.append(f"    K.exec_comm(rank, A, {nest_idx}, 'writeback')")
                 else:
@@ -661,6 +1177,18 @@ class CompiledKernel:
                     self._emit_stmt(c, lines, indent + 1, locals_)
             return
         if isinstance(s, (Continue, Return)):
+            lines.append(f"{pad}pass")
+            return
+        if self.lenient:
+            # Side-effect-free from the arrays' point of view (PRINT and
+            # friends): drop from generated code, once per statement.
+            if self.sink is not None and s.sid not in self._dropped_sids:
+                self._dropped_sids.add(s.sid)
+                self.sink.fallback(
+                    f"{type(s).__name__} dropped from generated code",
+                    pass_name="codegen",
+                    stmt_sid=s.sid,
+                )
             lines.append(f"{pad}pass")
             return
         raise CodegenUnsupported(f"cannot emit {type(s).__name__}")

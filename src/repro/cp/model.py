@@ -88,7 +88,12 @@ class CP:
     def on_home(ref: ArrayRef) -> "CP":
         t = OnHomeRef.from_ref(ref)
         if t is None:
-            raise ValueError(f"non-affine ON_HOME reference {ref}")
+            from ..diag import E_NONAFFINE, CompileError
+
+            raise CompileError(
+                f"non-affine ON_HOME reference {ref}",
+                code=E_NONAFFINE, pass_name="cp",
+            )
         return CP((t,))
 
     @staticmethod

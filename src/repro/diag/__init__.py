@@ -1,0 +1,285 @@
+"""Structured compile-time diagnostics for the whole pipeline.
+
+Every pass (frontend, ir, distrib, cp, comm, codegen, isets) reports
+problems through this module instead of raising bare ``ValueError``s:
+
+- :class:`SourceSpan` pins a finding to line/column and renders a
+  caret-annotated source excerpt;
+- :class:`CompileDiagnostic` is one finding (severity, stable code, span,
+  pass name);
+- :class:`CompileError` is the raisable form.  It subclasses ``ValueError``
+  so long-standing callers (and tests) that catch ``ValueError`` keep
+  working, while new callers can match on ``code`` / ``span``;
+- :class:`DiagnosticSink` threads a strict-or-lenient policy through the
+  pipeline: in strict mode ``error()`` raises immediately (the historical
+  behavior); in lenient mode errors are recorded and compilation continues,
+  so one pass over the input reports *every* problem and conservative
+  fallbacks (``I-FALLBACK``) replace crashes.
+
+Diagnostic codes are stable strings (the fuzzer and CI assert on them):
+
+==============  ============================================================
+``E-LEX``       unrecognized input at the character level
+``E-PARSE``     syntax / directive grammar error
+``E-NONAFFINE`` a non-affine expression where an affine one is required
+``E-RECURSION`` recursive call graph (forbidden, as in F77)
+``E-UNSUPPORTED`` a construct outside the compilable subset
+``E-CONFIG``    inconsistent distribution directives / grid configuration
+``W-BUDGET``    an iset resource budget tripped; conservative path taken
+``I-FALLBACK``  a statement/nest degraded to replicated execution
+==============  ============================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordered so reports can filter by floor."""
+
+    INFO = 0
+    WARN = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+#: stable diagnostic codes (compile-time; the verifier's E-COVERAGE family
+#: lives in repro.check.diagnostics)
+E_LEX = "E-LEX"
+E_PARSE = "E-PARSE"
+E_NONAFFINE = "E-NONAFFINE"
+E_RECURSION = "E-RECURSION"
+E_UNSUPPORTED = "E-UNSUPPORTED"
+E_CONFIG = "E-CONFIG"
+W_BUDGET = "W-BUDGET"
+I_FALLBACK = "I-FALLBACK"
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A position in the original source: 1-based line, 0-based column.
+
+    ``line_text`` (the logical line's text) enables the caret excerpt;
+    ``end_col`` widens the caret to an underline for multi-column tokens.
+    """
+
+    lineno: int
+    col: Optional[int] = None
+    end_col: Optional[int] = None
+    line_text: Optional[str] = None
+
+    def location(self) -> str:
+        """Human position: ``line 4`` or ``line 4, col 7`` (col 1-based)."""
+        if self.col is None:
+            return f"line {self.lineno}"
+        return f"line {self.lineno}, col {self.col + 1}"
+
+    def excerpt(self) -> Optional[str]:
+        """Two-line caret annotation of the source, or None without text."""
+        if self.line_text is None:
+            return None
+        text = self.line_text.rstrip("\n")
+        if self.col is None:
+            return f"    | {text}"
+        width = max((self.end_col or self.col) - self.col + 1, 1)
+        pad = " " * self.col
+        return f"    | {text}\n    | {pad}{'^' * width}"
+
+    def __str__(self) -> str:
+        return self.location()
+
+
+@dataclass
+class CompileDiagnostic:
+    """One compile-time finding."""
+
+    severity: Severity
+    code: str
+    message: str
+    span: Optional[SourceSpan] = None
+    pass_name: Optional[str] = None  # frontend | ir | distrib | cp | comm | codegen | isets
+    stmt_sid: Optional[int] = None
+    nest: Optional[int] = None  # index of the top-level loop nest, if any
+    array: Optional[str] = None
+
+    def format(self) -> str:
+        where = []
+        if self.pass_name:
+            where.append(self.pass_name)
+        if self.nest is not None:
+            where.append(f"nest {self.nest}")
+        if self.stmt_sid is not None:
+            where.append(f"s{self.stmt_sid}")
+        if self.array:
+            where.append(self.array)
+        tag = f" [{', '.join(where)}]" if where else ""
+        loc = f" {self.span.location()}:" if self.span else ""
+        out = f"{self.severity}: {self.code}{tag}:{loc} {self.message}"
+        if self.span is not None:
+            ex = self.span.excerpt()
+            if ex:
+                out += "\n" + ex
+        return out
+
+    def __repr__(self) -> str:
+        return f"<CompileDiag {self.severity} {self.code} {self.span or ''}>"
+
+
+class CompileError(ValueError):
+    """A raisable compile-time error.
+
+    Subclasses ``ValueError`` for backward compatibility with callers that
+    catch the pipeline's historical ad-hoc errors.  The message embeds the
+    span's location and caret excerpt so an unstructured ``str(exc)`` stays
+    actionable; structured consumers read ``code`` / ``span`` /
+    ``diagnostics`` instead.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = E_UNSUPPORTED,
+        span: Optional[SourceSpan] = None,
+        pass_name: Optional[str] = None,
+        diagnostics: Optional[list[CompileDiagnostic]] = None,
+    ):
+        self.code = code
+        self.span = span
+        self.pass_name = pass_name
+        #: the message without the location prefix / excerpt (re-reporting
+        #: into a sink uses this to avoid duplicating the span rendering)
+        self.bare_message = message
+        #: all findings collected before the raise (lenient frontend runs
+        #: report every syntax error in one pass; this carries them)
+        self.diagnostics: list[CompileDiagnostic] = list(diagnostics or [])
+        full = message
+        if span is not None and span.location() not in message:
+            full = f"{span.location()}: {message}"
+        ex = span.excerpt() if span is not None else None
+        if ex:
+            full += "\n" + ex
+        super().__init__(full)
+
+    @property
+    def diagnostic(self) -> CompileDiagnostic:
+        return CompileDiagnostic(
+            Severity.ERROR, self.code, self.bare_message,
+            span=self.span, pass_name=self.pass_name,
+        )
+
+
+@dataclass
+class DiagnosticSink:
+    """Collects diagnostics; decides whether errors raise or accumulate.
+
+    ``strict=True`` (the default, and the historical behavior) raises a
+    :class:`CompileError` at the first error.  ``strict=False`` records the
+    error and lets the caller continue — the graceful-degradation mode used
+    by ``compile_kernel(strict=False)`` and the frontend's panic-mode
+    recovery.
+    """
+
+    strict: bool = True
+    diagnostics: list[CompileDiagnostic] = field(default_factory=list)
+
+    # -- reporting ---------------------------------------------------------
+    def add(self, diag: CompileDiagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def error(
+        self,
+        message: str,
+        *,
+        code: str = E_UNSUPPORTED,
+        span: Optional[SourceSpan] = None,
+        pass_name: Optional[str] = None,
+        **kw,
+    ) -> None:
+        """Record an error; raise immediately in strict mode."""
+        self.add(CompileDiagnostic(
+            Severity.ERROR, code, message, span=span, pass_name=pass_name, **kw
+        ))
+        if self.strict:
+            raise CompileError(
+                message, code=code, span=span, pass_name=pass_name,
+                diagnostics=self.diagnostics,
+            )
+
+    def warn(self, message: str, *, code: str, **kw) -> None:
+        self.add(CompileDiagnostic(Severity.WARN, code, message, **kw))
+
+    def info(self, message: str, *, code: str, **kw) -> None:
+        self.add(CompileDiagnostic(Severity.INFO, code, message, **kw))
+
+    def fallback(self, message: str, **kw) -> None:
+        """Record an ``I-FALLBACK``: a conservative degradation was taken."""
+        self.add(CompileDiagnostic(Severity.INFO, I_FALLBACK, message, **kw))
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def errors(self) -> list[CompileDiagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def by_code(self, code: str) -> list[CompileDiagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def fallbacks(self) -> list[CompileDiagnostic]:
+        return self.by_code(I_FALLBACK)
+
+    def format(self, min_severity: Severity = Severity.INFO) -> str:
+        shown = [d for d in self.diagnostics if d.severity >= min_severity]
+        lines = [
+            f"== compile diagnostics ({len(self.errors())} errors, "
+            f"{len(shown)} shown)"
+        ]
+        lines += ["  " + d.format().replace("\n", "\n  ") for d in shown]
+        return "\n".join(lines)
+
+    def as_error(self, summary: Optional[str] = None) -> CompileError:
+        """Bundle the collected errors into one raisable CompileError."""
+        errs = self.errors()
+        if not errs:
+            raise RuntimeError("as_error() called with no errors recorded")
+        head = errs[0]
+        msg = summary or (
+            head.message if len(errs) == 1
+            else f"{len(errs)} errors; first: {head.message}"
+        )
+        return CompileError(
+            msg, code=head.code, span=head.span, pass_name=head.pass_name,
+            diagnostics=self.diagnostics,
+        )
+
+
+def merge_into_report(diags: Iterable[CompileDiagnostic], report) -> None:
+    """Append compile-time diagnostics onto a verifier CheckReport (the
+    check layer has its own Diagnostic type; this adapts one to the other
+    so ``python -m repro.eval check`` surfaces I-FALLBACK / W-BUDGET)."""
+    from ..check.diagnostics import Diagnostic as CheckDiag
+    from ..check.diagnostics import Severity as CheckSeverity
+
+    for d in diags:
+        msg = d.message
+        if d.span is not None:
+            msg = f"{d.span.location()}: {msg}"
+        report.add(CheckDiag(
+            CheckSeverity(int(d.severity)), d.code, msg,
+            stmt_sid=d.stmt_sid, array=d.array, nest=d.nest,
+        ))
+
+
+__all__ = [
+    "Severity", "SourceSpan", "CompileDiagnostic", "CompileError",
+    "DiagnosticSink", "merge_into_report",
+    "E_LEX", "E_PARSE", "E_NONAFFINE", "E_RECURSION", "E_UNSUPPORTED",
+    "E_CONFIG", "W_BUDGET", "I_FALLBACK",
+]

@@ -467,10 +467,19 @@ class DistributionContext:
         return own.bind({**self.params, **binding}).points()
 
     def the_grid(self) -> ProcessorGrid:
-        """The single grid used by the program (all NAS codes use one)."""
+        """The single grid used by the program (all NAS codes use one).
+
+        A program with no distributed arrays at all (e.g. after the lenient
+        compiler drops unusable directives) gets a synthesized 1-D grid of
+        ``nprocs`` — fully replicated execution needs a grid shape too."""
         grids = {l.distribution.grid for l in self.layouts.values()}
-        if len(grids) != 1:
+        if len(grids) > 1:
             raise ValueError(f"expected exactly one processor grid, found {len(grids)}")
+        if not grids:
+            for g in self.grids.values():
+                if g.size == self.nprocs:
+                    return g
+            return self._default_grid(1)
         return next(iter(grids))
 
 

@@ -30,7 +30,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=["table-8.1", "table-8.2", "figure-8.1", "figure-8.2",
                  "figure-8.3", "figure-8.4", "diffstats", "ablations", "phases",
-                 "chaos", "check", "bench"],
+                 "chaos", "check", "bench", "fuzz"],
     )
     ap.add_argument("--classes", default="A,B", help="comma list of NAS classes")
     ap.add_argument("--procs", default="4,9,16,25", help="comma list of processor counts")
@@ -68,6 +68,12 @@ def main(argv: list[str] | None = None) -> int:
                     help="bench: skip the functional dHPF class-S runs")
     ap.add_argument("--skip-class-w", action="store_true",
                     help="bench: skip the class-W vector smoke")
+    ap.add_argument("--seeds", type=int, default=300,
+                    help="fuzz: number of random programs to generate")
+    ap.add_argument("--start-seed", type=int, default=0,
+                    help="fuzz: first seed (corpus is deterministic per seed)")
+    ap.add_argument("--no-shrink", action="store_true",
+                    help="fuzz: report failures unshrunk (faster)")
     args = ap.parse_args(argv)
 
     classes = tuple(args.classes.split(","))
@@ -168,15 +174,21 @@ def main(argv: list[str] | None = None) -> int:
             )
         print("paper: SP 147/3152 (4.7%), BT 226/3813 (5.9%)")
         # compile the kernels once to exercise — and then report — the iset
-        # operation caches (hash-consed constraints + emptiness memo)
+        # operation caches (hash-consed constraints + emptiness memo) and the
+        # per-compilation resource budget
+        from ..isets import IsetBudget
+
         reset_caches()
+        budgets: list[tuple[str, IsetBudget]] = []
         for name, src, np_, params in (
             ("lhsy", kernels.LHSY_SP, 4, {"n": 17}),
             ("compute_rhs", kernels.COMPUTE_RHS_BT, 8, {"n": 13}),
             ("exact_rhs", kernels.EXACT_RHS_SP, 4, {"n": 17}),
         ):
+            budget = IsetBudget()
+            budgets.append((name, budget))
             try:
-                compile_kernel(src, nprocs=np_, params=params)
+                compile_kernel(src, nprocs=np_, params=params, budget=budget)
             except CodegenUnsupported:
                 pass
         c = cache_stats().as_dict()
@@ -189,6 +201,26 @@ def main(argv: list[str] | None = None) -> int:
             f"  emptiness memo:       {c['empty_hits']} hits / "
             f"{c['empty_misses']} misses ({c['empty_hit_rate']:.1%})"
         )
+        print("\niset resource budgets (weighted ops / peak disjuncts):")
+        for name, budget in budgets:
+            b = budget.as_dict()
+            tripped = b["budget_tripped"] or "no"
+            print(
+                f"  {name:15s}: ops {b['budget_ops']:6d} / {b['budget_max_ops']}, "
+                f"peak disjuncts {b['budget_peak_disjuncts']:3d} / "
+                f"{b['budget_max_disjuncts']}, tripped: {tripped}"
+            )
+    elif args.target == "fuzz":
+        from .fuzz import run_fuzz
+
+        result = run_fuzz(
+            args.seeds,
+            start_seed=args.start_seed,
+            progress=lambda msg: print(f"  [fuzz] {msg}", flush=True),
+            do_shrink=not args.no_shrink,
+        )
+        print(result.summary())
+        return 0 if result.passed else 1
     elif args.target == "bench":
         from .bench import check_guards, run_bench, write_json
 

@@ -10,13 +10,23 @@ lowercased, keywords are recognized by the parser.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterator, List
+from typing import Iterator, List, Optional
+
+from ..diag import E_LEX, CompileError, DiagnosticSink, SourceSpan
 
 
-class LexError(Exception):
-    """Raised with file position on any unrecognized input."""
+class LexError(CompileError):
+    """Raised with file position (line:col + caret excerpt) on any
+    unrecognized input.  A :class:`~repro.diag.CompileError`, so it carries
+    a structured ``span`` and still reads as a ``ValueError`` to old
+    callers."""
+
+    def __init__(self, message: str, *, span: Optional[SourceSpan] = None, **kw):
+        kw.setdefault("code", E_LEX)
+        kw.setdefault("pass_name", "frontend")
+        super().__init__(message, span=span, **kw)
 
 
 class TokenKind(Enum):
@@ -44,11 +54,16 @@ class Token:
 
 @dataclass
 class LogicalLine:
-    """One logical source line: its tokens and whether it is a directive."""
+    """One logical source line: its tokens and whether it is a directive.
+
+    ``text`` is the joined (continuation-merged, comment-stripped) code the
+    tokens index into with their ``col`` fields — diagnostics use it to
+    render caret-annotated excerpts."""
 
     tokens: List[Token]
     lineno: int
     is_directive: bool = False
+    text: str = field(default="", compare=False)
 
 
 _DIRECTIVE_RE = re.compile(r"^\s*(chpf\$|!hpf\$|c\$hpf\$?|\*hpf\$|!dhpf\$|chpf)\s*", re.IGNORECASE)
@@ -81,10 +96,15 @@ _NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
 
 class Lexer:
-    """Tokenize full source text into logical lines."""
+    """Tokenize full source text into logical lines.
 
-    def __init__(self, source: str):
+    With a lenient *sink* (``DiagnosticSink(strict=False)``), lines with
+    lexical errors are recorded and skipped instead of aborting the pass —
+    one run reports every bad line (panic-mode recovery)."""
+
+    def __init__(self, source: str, sink: Optional[DiagnosticSink] = None):
         self.source = source
+        self.sink = sink
 
     def logical_lines(self) -> List[LogicalLine]:
         # 1. strip comments, detect directives, join continuations
@@ -130,9 +150,20 @@ class Lexer:
             text = text.rstrip()
             if text.endswith("&"):
                 text = text[:-1]
-            toks = list(self._tokenize_line(text, lineno))
+            try:
+                toks = list(self._tokenize_line(text, lineno))
+            except LexError as exc:
+                if self.sink is None:
+                    raise
+                # panic mode: record, drop the bad line, keep lexing (raises
+                # immediately when the sink is strict)
+                self.sink.error(
+                    exc.bare_message, code=exc.code, span=exc.span,
+                    pass_name="frontend",
+                )
+                continue
             if toks:
-                out.append(LogicalLine(toks, lineno, isdir))
+                out.append(LogicalLine(toks, lineno, isdir, text))
         return out
 
     def _tokenize_line(self, text: str, lineno: int) -> Iterator[Token]:
@@ -147,7 +178,10 @@ class Lexer:
             if ch == "'":
                 j = text.find("'", i + 1)
                 if j < 0:
-                    raise LexError(f"line {lineno}: unterminated string")
+                    raise LexError(
+                        "unterminated string",
+                        span=SourceSpan(lineno, i, n - 1, text),
+                    )
                 yield Token(TokenKind.STRING, text[i : j + 1], text[i + 1 : j], lineno, i)
                 i = j + 1
                 continue
@@ -187,7 +221,10 @@ class Lexer:
                     i += len(op)
                     break
             else:
-                raise LexError(f"line {lineno}, col {i}: unexpected character {ch!r}")
+                raise LexError(
+                    f"unexpected character {ch!r}",
+                    span=SourceSpan(lineno, i, line_text=text),
+                )
         yield Token(TokenKind.EOL, "", None, lineno, n)
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from ..diag import E_PARSE, CompileError, DiagnosticSink, SourceSpan
 from ..ir.directives import (
     AlignDecl,
     DistFormat,
@@ -41,8 +42,16 @@ INTRINSICS = {
 }
 
 
-class ParseError(Exception):
-    """Syntax error with source line information."""
+class ParseError(CompileError):
+    """Syntax error with source position (line:col + caret excerpt).
+
+    A :class:`~repro.diag.CompileError`: structured consumers read
+    ``span`` / ``code``; string matching on ``line N`` keeps working."""
+
+    def __init__(self, message: str, *, span: Optional[SourceSpan] = None, **kw):
+        kw.setdefault("code", E_PARSE)
+        kw.setdefault("pass_name", "frontend")
+        super().__init__(message, span=span, **kw)
 
 
 class Cursor:
@@ -52,6 +61,14 @@ class Cursor:
         self.toks = line.tokens
         self.pos = 0
         self.lineno = line.lineno
+        self.text = line.text
+
+    def span(self, tok: Optional[Token] = None) -> SourceSpan:
+        """Span of one token (current by default) with the line's text, so
+        every parse error renders a caret-annotated excerpt."""
+        t = tok if tok is not None else self.peek()
+        end = t.col + max(len(t.text), 1) - 1
+        return SourceSpan(self.lineno, t.col, end, self.text or None)
 
     def peek(self, k: int = 0) -> Token:
         j = min(self.pos + k, len(self.toks) - 1)
@@ -81,37 +98,70 @@ class Cursor:
     def expect(self, text: str) -> Token:
         t = self.next()
         if t.text != text:
-            raise ParseError(f"line {self.lineno}: expected {text!r}, got {t.text!r}")
+            raise ParseError(
+                f"expected {text!r}, got {t.text or '<end of line>'!r}",
+                span=self.span(t),
+            )
         return t
 
     def expect_name(self) -> str:
         t = self.next()
         if t.kind is not TokenKind.NAME:
-            raise ParseError(f"line {self.lineno}: expected identifier, got {t.text!r}")
+            raise ParseError(
+                f"expected identifier, got {t.text or '<end of line>'!r}",
+                span=self.span(t),
+            )
         return t.text
 
     def error(self, msg: str) -> ParseError:
-        return ParseError(f"line {self.lineno}: {msg}")
+        return ParseError(msg, span=self.span())
 
 
 class _UnitParser:
     """Parses one program unit; knows the symbol table for name resolution."""
 
-    def __init__(self, lines: List[LogicalLine], start: int):
+    def __init__(
+        self,
+        lines: List[LogicalLine],
+        start: int,
+        sink: Optional[DiagnosticSink] = None,
+    ):
         self.lines = lines
         self.i = start
         self.sub = Subroutine(name="?")
         self.pending_loop_dir: Optional[LoopDirective] = None
         self.pending_on_home: Optional[OnHomeDirective] = None
+        self.sink = sink
 
     # ---------------- line plumbing ----------------
+    def _eof_span(self) -> Optional[SourceSpan]:
+        """Span anchored at the last logical line (for end-of-file errors)."""
+        if not self.lines:
+            return None
+        last = self.lines[-1]
+        col = max(len(last.text) - 1, 0)
+        return SourceSpan(last.lineno, col, col, last.text or None)
+
     def _cur_line(self) -> LogicalLine:
         if self.i >= len(self.lines):
-            raise ParseError("unexpected end of file (missing END?)")
+            raise ParseError(
+                "unexpected end of file (missing END?)", span=self._eof_span()
+            )
         return self.lines[self.i]
 
     def _advance(self) -> None:
         self.i += 1
+
+    def _recover(self, exc: ParseError) -> None:
+        """Panic-mode recovery: with a lenient sink, record the error and
+        let the caller skip the offending line; otherwise re-raise, which
+        preserves the historical fail-fast behavior."""
+        if self.sink is None or self.sink.strict:
+            raise exc
+        self.sink.error(
+            exc.bare_message, code=exc.code, span=exc.span,
+            pass_name="frontend",
+        )
 
     # ---------------- unit ----------------
     def parse_unit(self) -> Subroutine:
@@ -133,10 +183,11 @@ class _UnitParser:
         self._advance()
         self._parse_decls()
         self.sub.body = self._parse_stmts(terminators=("end",))
-        # consume END line
-        c = Cursor(self._cur_line())
-        c.expect("end")
-        self._advance()
+        # consume END line (absent only after lenient-mode recovery at EOF)
+        if self.i < len(self.lines):
+            c = Cursor(self._cur_line())
+            c.expect("end")
+            self._advance()
         return self.sub
 
     # ---------------- declarations ----------------
@@ -151,7 +202,10 @@ class _UnitParser:
         while self.i < len(self.lines):
             line = self._cur_line()
             if line.is_directive:
-                self._parse_directive(Cursor(line))
+                try:
+                    self._parse_directive(Cursor(line))
+                except ParseError as exc:
+                    self._recover(exc)
                 self._advance()
                 continue
             c = Cursor(line)
@@ -171,44 +225,62 @@ class _UnitParser:
                     # treat 'name (' as decl only if followed by name/]:: later.
                     if nxt.text == "=":
                         return
-                self._parse_type_decl(c)
+                try:
+                    self._parse_type_decl(c)
+                except ParseError as exc:
+                    self._recover(exc)
                 self._advance()
                 continue
             if kw == "dimension":
                 c.next()
-                self._parse_entity_list(c, FortranType.DOUBLE, dims_required=True)
+                try:
+                    self._parse_entity_list(c, FortranType.DOUBLE, dims_required=True)
+                except ParseError as exc:
+                    self._recover(exc)
                 self._advance()
                 continue
             if kw == "parameter":
-                c.next()
-                c.expect("(")
-                while True:
-                    name = c.expect_name()
-                    c.expect("=")
-                    val = self._parse_expr(c)
-                    d = self.sub.symbols.declare(VarDecl(name, FortranType.INTEGER))
-                    d.is_parameter = True
-                    d.param_value = val
-                    if not c.accept(","):
-                        break
-                c.expect(")")
+                try:
+                    self._parse_parameter(c)
+                except ParseError as exc:
+                    self._recover(exc)
                 self._advance()
                 continue
             if kw == "common":
-                c.next()
-                blk = None
-                if c.accept("/"):
-                    blk = c.expect_name()
-                    c.expect("/")
-                while not c.at_eol():
-                    name = c.expect_name()
-                    dims = self._parse_dims(c) if c.peek().text == "(" else []
-                    d = self.sub.symbols.declare(VarDecl(name, dims=dims))
-                    d.common = blk or "_blank"
-                    c.accept(",")
+                try:
+                    self._parse_common(c)
+                except ParseError as exc:
+                    self._recover(exc)
                 self._advance()
                 continue
             return  # first executable statement
+
+    def _parse_parameter(self, c: Cursor) -> None:
+        c.next()
+        c.expect("(")
+        while True:
+            name = c.expect_name()
+            c.expect("=")
+            val = self._parse_expr(c)
+            d = self.sub.symbols.declare(VarDecl(name, FortranType.INTEGER))
+            d.is_parameter = True
+            d.param_value = val
+            if not c.accept(","):
+                break
+        c.expect(")")
+
+    def _parse_common(self, c: Cursor) -> None:
+        c.next()
+        blk = None
+        if c.accept("/"):
+            blk = c.expect_name()
+            c.expect("/")
+        while not c.at_eol():
+            name = c.expect_name()
+            dims = self._parse_dims(c) if c.peek().text == "(" else []
+            d = self.sub.symbols.declare(VarDecl(name, dims=dims))
+            d.common = blk or "_blank"
+            c.accept(",")
 
     def _parse_type_decl(self, c: Cursor) -> None:
         kw = c.expect_name()
@@ -264,7 +336,10 @@ class _UnitParser:
         while self.i < len(self.lines):
             line = self._cur_line()
             if line.is_directive:
-                self._parse_directive(Cursor(line))
+                try:
+                    self._parse_directive(Cursor(line))
+                except ParseError as exc:
+                    self._recover(exc)
                 self._advance()
                 continue
             c = Cursor(line)
@@ -280,13 +355,28 @@ class _UnitParser:
                 if label_num is not None:
                     raise c.error("labeled terminator not supported")
                 return out
-            stmt = self._parse_one_stmt(c, label_num)
+            try:
+                stmt = self._parse_one_stmt(c, label_num)
+            except ParseError as exc:
+                self._recover(exc)
+                stmt = None
             if stmt is not None:
                 out.append(stmt)
             self._advance()
         if "end" in terminators:
-            raise ParseError("unexpected end of file (missing END)")
-        raise ParseError(f"unexpected end of file (missing one of {terminators})")
+            self._recover(
+                ParseError(
+                    "unexpected end of file (missing END)", span=self._eof_span()
+                )
+            )
+        else:
+            self._recover(
+                ParseError(
+                    f"unexpected end of file (missing one of {terminators})",
+                    span=self._eof_span(),
+                )
+            )
+        return out
 
     def _looks_like_assignment(self, c: Cursor) -> bool:
         """Distinguish 'end = 5' from the END keyword, etc."""
@@ -393,12 +483,17 @@ class _UnitParser:
         while self.i < len(self.lines):
             line = self._cur_line()
             if line.is_directive:
-                self._parse_directive(Cursor(line))
+                try:
+                    self._parse_directive(Cursor(line))
+                except ParseError as exc:
+                    self._recover(exc)
                 self._advance()
                 continue
             c = Cursor(line)
             if self._effective_head(c) == "end" and not self._looks_like_assignment(c):
-                raise c.error(f"missing closing label {label} CONTINUE")
+                # leave the END line for the enclosing unit to consume
+                self._recover(c.error(f"missing closing label {label} CONTINUE"))
+                return out
             if c.peek().kind is TokenKind.INT and int(c.peek().value) == label:  # type: ignore[arg-type]
                 c.next()
                 if c.accept_name("continue") is None:
@@ -407,11 +502,20 @@ class _UnitParser:
             lbl = None
             if c.peek().kind is TokenKind.INT:
                 lbl = int(c.next().value)  # type: ignore[arg-type]
-            stmt = self._parse_one_stmt(c, lbl)
+            try:
+                stmt = self._parse_one_stmt(c, lbl)
+            except ParseError as exc:
+                self._recover(exc)
+                stmt = None
             if stmt is not None:
                 out.append(stmt)
             self._advance()
-        raise ParseError(f"missing closing label {label} CONTINUE")
+        self._recover(
+            ParseError(
+                f"missing closing label {label} CONTINUE", span=self._eof_span()
+            )
+        )
+        return out
 
     def _parse_if(self, c: Cursor) -> Stmt:
         c.expect("if")
@@ -548,7 +652,10 @@ class _UnitParser:
                     return ArrayRef(name, tuple(args))
                 return FuncCall(name, tuple(args))
             return Var(name)
-        raise c.error(f"unexpected token {t.text!r} in expression")
+        raise ParseError(
+            f"unexpected token {t.text or '<end of line>'!r} in expression",
+            span=c.span(t),
+        )
 
     # ---------------- HPF directives ----------------
     def _parse_directive(self, c: Cursor) -> None:
@@ -701,25 +808,52 @@ def get_on_home(stmt: Stmt) -> Optional[OnHomeDirective]:
     return _on_home_table.get(stmt.sid)
 
 
-def parse_source(source: str) -> Program:
-    """Parse a full source string into a Program of units."""
-    lines = Lexer(source).logical_lines()
+def parse_source(source: str, sink: Optional[DiagnosticSink] = None) -> Program:
+    """Parse a full source string into a Program of units.
+
+    With a lenient *sink* (``DiagnosticSink(strict=False)``) the parser runs
+    in panic-mode recovery: each syntax error is recorded with its span and
+    the offending line (or unit) is skipped, so one pass reports *all*
+    errors.  Without a sink (or with a strict one) the first error raises —
+    the historical behavior."""
+    lines = Lexer(source, sink).logical_lines()
     prog = Program()
     i = 0
     while i < len(lines):
         line = lines[i]
         if line.is_directive:
-            raise ParseError(f"line {line.lineno}: directive outside a program unit")
-        up = _UnitParser(lines, i)
-        sub = up.parse_unit()
+            exc = ParseError(
+                f"line {line.lineno}: directive outside a program unit",
+                span=SourceSpan(line.lineno, line_text=line.text or None),
+            )
+            if sink is None or sink.strict:
+                raise exc
+            sink.error(
+                exc.bare_message, code=exc.code, span=exc.span,
+                pass_name="frontend",
+            )
+            i += 1
+            continue
+        up = _UnitParser(lines, i, sink)
+        try:
+            sub = up.parse_unit()
+        except ParseError as exc:
+            if sink is None or sink.strict:
+                raise
+            sink.error(
+                exc.bare_message, code=exc.code, span=exc.span,
+                pass_name="frontend",
+            )
+            i = max(up.i, i) + 1  # guaranteed progress
+            continue
         prog.add(sub)
-        i = up.i
+        i = max(up.i, i + 1)
     return prog
 
 
-def parse_subroutine(source: str) -> Subroutine:
+def parse_subroutine(source: str, sink: Optional[DiagnosticSink] = None) -> Subroutine:
     """Parse a single-unit source string and return its unit."""
-    prog = parse_source(source)
+    prog = parse_source(source, sink)
     if len(prog.units) != 1:
         raise ParseError(f"expected exactly one unit, found {len(prog.units)}")
     return next(iter(prog.units.values()))

@@ -95,5 +95,13 @@ class Program:
         try:
             order = list(nx.topological_sort(g))
         except nx.NetworkXUnfeasible as exc:
-            raise ValueError("recursive call graph is not supported") from exc
+            from ..diag import E_RECURSION, CompileError
+
+            cycle = nx.find_cycle(g)
+            names = [u for u, _ in cycle] + [cycle[-1][1]]
+            raise CompileError(
+                f"recursive call graph is not supported: {' -> '.join(names)}",
+                code=E_RECURSION,
+                pass_name="ir",
+            ) from exc
         return [self.units[name] for name in reversed(order)]

@@ -61,7 +61,12 @@ class VarDecl:
         for lo, hi in self.dims:
             alo, ahi = to_affine(lo), to_affine(hi)
             if alo is None or ahi is None:
-                raise ValueError(f"non-affine bounds on {self.name}")
+                from ..diag import E_NONAFFINE, CompileError
+
+                raise CompileError(
+                    f"non-affine bounds on {self.name}",
+                    code=E_NONAFFINE, pass_name="ir",
+                )
             b = dict(params or {})
             out.append(ahi.evaluate(b) - alo.evaluate(b) + 1)
         return tuple(out)
@@ -73,7 +78,12 @@ class VarDecl:
         for lo, _ in self.dims:
             alo = to_affine(lo)
             if alo is None:
-                raise ValueError(f"non-affine lower bound on {self.name}")
+                from ..diag import E_NONAFFINE, CompileError
+
+                raise CompileError(
+                    f"non-affine lower bound on {self.name}",
+                    code=E_NONAFFINE, pass_name="ir",
+                )
             out.append(alo.evaluate(dict(params or {})))
         return tuple(out)
 

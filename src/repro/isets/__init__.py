@@ -22,7 +22,16 @@ Public API:
 """
 
 from .terms import LinExpr, Term
-from .core import BasicSet, Constraint, cache_stats, reset_caches
+from .core import (
+    BasicSet,
+    BudgetExceeded,
+    Constraint,
+    IsetBudget,
+    active_budget,
+    cache_stats,
+    iset_budget,
+    reset_caches,
+)
 from .iset import ISet, box, universe, empty
 from .relation import AffineMap
 
@@ -38,4 +47,8 @@ __all__ = [
     "empty",
     "cache_stats",
     "reset_caches",
+    "IsetBudget",
+    "BudgetExceeded",
+    "iset_budget",
+    "active_budget",
 ]

@@ -15,6 +15,7 @@ flagged approximate and downstream queries answer conservatively.
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from math import ceil, floor
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -85,6 +86,112 @@ def reset_caches() -> None:
     CACHE_STATS.reset()
 
 
+# ---------------------------------------------------------------------------
+# Per-compilation resource budgets
+# ---------------------------------------------------------------------------
+
+class BudgetExceeded(RuntimeError):
+    """An iset resource budget tripped (see :func:`iset_budget`)."""
+
+    def __init__(self, kind: str, spent: int, limit: int):
+        self.kind = kind
+        self.spent = spent
+        self.limit = limit
+        super().__init__(f"iset budget exceeded: {kind} {spent} > limit {limit}")
+
+
+class IsetBudget:
+    """Per-compilation budget over symbolic-set work.
+
+    Charges land on the *expensive* events — constraint-normalization misses
+    (weight 1) and emptiness-proof Fourier-Motzkin misses (weight
+    ``EMPTY_WEIGHT``) — plus the disjunct count of every union built.  When a
+    limit is crossed while enforcement is armed, the charge raises
+    :class:`BudgetExceeded`; the lenient compiler driver converts that into
+    a conservative replicated fallback with a ``W-BUDGET`` diagnostic
+    instead of letting the analysis explode combinatorially.
+
+    ``tripped``/``trips`` persist after the first trip for telemetry
+    (``python -m repro.eval diffstats``).  ``suspend()`` disables enforcement
+    (while still counting) so the driver's own fallback construction cannot
+    re-trip the budget.  ``reset_ops()`` restarts the op window — the driver
+    grants each loop nest a fresh window after a trip, so one pathological
+    nest cannot starve the rest of the compilation.
+    """
+
+    EMPTY_WEIGHT = 20  # one FM emptiness run ~ this many constraint interns
+
+    def __init__(self, max_ops: int = 200_000, max_disjuncts: int = 48):
+        self.max_ops = max_ops
+        self.max_disjuncts = max_disjuncts
+        self.ops = 0
+        self.peak_disjuncts = 0
+        self.tripped: str | None = None
+        self.trips = 0
+        self._suspended = 0
+
+    # -- charging (called from the cache-miss paths) -----------------------
+    def charge_op(self, weight: int = 1) -> None:
+        self.ops += weight
+        if not self._suspended and self.ops > self.max_ops:
+            self._trip("ops", self.ops, self.max_ops)
+
+    def charge_disjuncts(self, n: int) -> None:
+        if n > self.peak_disjuncts:
+            self.peak_disjuncts = n
+        if not self._suspended and n > self.max_disjuncts:
+            self._trip("disjuncts", n, self.max_disjuncts)
+
+    def _trip(self, kind: str, spent: int, limit: int) -> None:
+        self.trips += 1
+        if self.tripped is None:
+            self.tripped = kind
+        raise BudgetExceeded(kind, spent, limit)
+
+    # -- driver controls ---------------------------------------------------
+    def reset_ops(self) -> None:
+        self.ops = 0
+
+    @contextmanager
+    def suspend(self) -> Iterator[None]:
+        """Count but do not enforce (used while building the fallback)."""
+        self._suspended += 1
+        try:
+            yield
+        finally:
+            self._suspended -= 1
+
+    def as_dict(self) -> dict:
+        return {
+            "budget_ops": self.ops,
+            "budget_max_ops": self.max_ops,
+            "budget_peak_disjuncts": self.peak_disjuncts,
+            "budget_max_disjuncts": self.max_disjuncts,
+            "budget_trips": self.trips,
+            "budget_tripped": self.tripped,
+        }
+
+
+_ACTIVE_BUDGET: IsetBudget | None = None
+
+
+def active_budget() -> IsetBudget | None:
+    """The budget installed by the innermost :func:`iset_budget`, if any."""
+    return _ACTIVE_BUDGET
+
+
+@contextmanager
+def iset_budget(budget: IsetBudget) -> "Iterator[IsetBudget]":
+    """Install *budget* as the active per-compilation iset budget."""
+    global _ACTIVE_BUDGET
+    prev = _ACTIVE_BUDGET
+    _ACTIVE_BUDGET = budget
+    try:
+        yield budget
+    finally:
+        _ACTIVE_BUDGET = prev
+
+
 class Constraint:
     """``expr == 0`` (is_eq) or ``expr >= 0`` — normalized over the integers.
 
@@ -103,6 +210,8 @@ class Constraint:
             CACHE_STATS.constraint_hits += 1
             return cached
         CACHE_STATS.constraint_misses += 1
+        if _ACTIVE_BUDGET is not None:
+            _ACTIVE_BUDGET.charge_op()
         self = super().__new__(cls)
         self._normalize(expr, is_eq)
         if len(_CONSTRAINT_INTERN) >= _INTERN_MAX:
@@ -448,6 +557,8 @@ class BasicSet:
             CACHE_STATS.empty_hits += 1
             return cached
         CACHE_STATS.empty_misses += 1
+        if _ACTIVE_BUDGET is not None:
+            _ACTIVE_BUDGET.charge_op(IsetBudget.EMPTY_WEIGHT)
         result = self._is_empty_uncached()
         if len(_EMPTY_CACHE) >= _EMPTY_MAX:
             _EMPTY_CACHE.clear()
@@ -626,7 +737,9 @@ def _scan(bs: BasicSet, dims: Sequence[str], fixed: dict[str, int]) -> Iterator[
     var = remaining[0]
     rng = bs.bounds_of(var, fixed)
     if rng is None:
-        raise ValueError(f"dimension {var!r} is unbounded; cannot enumerate")
+        raise ValueError(
+            f"dimension {var!r} is unbounded; cannot enumerate; set: {bs.pretty()}"
+        )
     lo, hi = rng
     for v in range(lo, hi + 1):
         yield from _scan(bs, dims, {**fixed, var: v})

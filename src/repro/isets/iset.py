@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from .core import BasicSet, Constraint
+from .core import BasicSet, Constraint, active_budget
 from .terms import LinExpr, E
 
 # Difference blows up exponentially in the number of constraints of the
@@ -40,6 +40,9 @@ class ISet:
             seen.add(p)
             kept.append(p)
         self.parts: tuple[BasicSet, ...] = tuple(kept)
+        budget = active_budget()
+        if budget is not None:
+            budget.charge_disjuncts(len(self.parts))
 
     # -- constructors ------------------------------------------------------
     @staticmethod

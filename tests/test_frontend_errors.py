@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.diag import E_LEX, E_PARSE, CompileError, DiagnosticSink
 from repro.frontend import LexError, ParseError, parse_source, parse_subroutine
 
 
@@ -65,6 +66,88 @@ class TestLexErrors:
     def test_bad_character(self):
         with pytest.raises(LexError, match="unexpected character"):
             parse_subroutine("      subroutine s\n      integer i\n      i = 1 @ 2\n      end\n")
+
+
+class TestSpans:
+    """Satellite: every lexer/parser error carries line:col and a
+    caret-annotated excerpt of the offending source line."""
+
+    def test_parse_error_is_structured(self):
+        with pytest.raises(ParseError) as ei:
+            parse_subroutine(
+                "      subroutine s\n      integer i\n      i = + \n      end\n"
+            )
+        err = ei.value
+        assert isinstance(err, CompileError)
+        assert err.code == E_PARSE
+        assert err.span is not None and err.span.lineno == 3
+        assert err.span.col is not None
+
+    def test_lex_error_has_span_and_caret(self):
+        with pytest.raises(LexError) as ei:
+            parse_subroutine(
+                "      subroutine s\n      integer i\n      i = 1 @ 2\n      end\n"
+            )
+        err = ei.value
+        assert err.code == E_LEX
+        assert err.span is not None
+        excerpt = err.span.excerpt()
+        assert excerpt is not None and "^" in excerpt
+        # the caret column points at the offending character
+        assert err.span.line_text[err.span.col] == "@"
+
+    def test_error_message_embeds_location_and_excerpt(self):
+        with pytest.raises(ParseError) as ei:
+            parse_subroutine(
+                "      subroutine s\n      integer i\n      i = 1 2\n      end\n"
+            )
+        msg = str(ei.value)
+        assert "line 3" in msg
+        assert "^" in msg  # caret excerpt rendered into str(exc)
+
+    def test_eof_error_has_span(self):
+        with pytest.raises(ParseError) as ei:
+            parse_subroutine("      subroutine s\n      integer i\n      i = 1\n")
+        assert ei.value.span is not None
+        assert ei.value.span.lineno >= 3
+
+    def test_unclosed_do_span_points_into_file(self):
+        with pytest.raises(ParseError) as ei:
+            parse_subroutine(
+                "      subroutine s\n      integer i\n      do i = 1, 5\n      end\n"
+            )
+        assert ei.value.span is not None
+
+
+class TestPanicModeRecovery:
+    """Satellite: one lenient parse pass reports *all* syntax errors."""
+
+    TWO_ERRORS = (
+        "      program bad\n"
+        "      integer i, j\n"
+        "      i = +\n"
+        "      j = 1 2\n"
+        "      end\n"
+    )
+
+    def test_lenient_sink_collects_every_error(self):
+        sink = DiagnosticSink(strict=False)
+        parse_source(self.TWO_ERRORS, sink)
+        errs = sink.errors()
+        assert len(errs) >= 2
+        lines = {d.span.lineno for d in errs if d.span is not None}
+        assert {3, 4} <= lines
+
+    def test_all_lenient_errors_have_spans(self):
+        sink = DiagnosticSink(strict=False)
+        parse_source(self.TWO_ERRORS, sink)
+        for d in sink.errors():
+            assert d.span is not None, d.message
+            assert d.span.lineno > 0
+
+    def test_strict_parse_unaffected(self):
+        with pytest.raises(ParseError):
+            parse_source(self.TWO_ERRORS)
 
 
 class TestTolerantForms:
