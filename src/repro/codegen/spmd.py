@@ -1226,13 +1226,25 @@ class CompiledKernel:
         scalars: Mapping[str, Any],
         init: Callable[[int, dict[str, FortranArray]], None] | None = None,
         vm: VirtualMachine | None = None,
+        executor: str = "virtual",
+        timeout: float | None = None,
     ) -> list[dict[str, FortranArray]]:
         """Execute on all ranks of a VirtualMachine; returns per-rank arrays.
 
         ``init(rank_id, arrays)`` seeds input data (every rank must seed at
         least its owned elements; seeding everything replicates the serial
         initial state, which is the common test setup).
+
+        ``executor="process"`` runs the same node program on supervised OS
+        processes instead (:func:`repro.runtime.procexec.run_kernel`) —
+        bitwise-identical results, real parallelism.
         """
+        if executor == "process":
+            from ..runtime import procexec
+
+            return procexec.run_kernel(
+                self, scalars, init=init, target="mpi", timeout=timeout
+            )
         fn = self.node_program()
         vm = vm or VirtualMachine(self.nprocs, record_trace=False)
         kernel = self
@@ -1254,6 +1266,8 @@ class CompiledKernel:
         scalars: Mapping[str, Any],
         init: Callable[[dict[str, FortranArray]], None] | None = None,
         vm: VirtualMachine | None = None,
+        executor: str = "virtual",
+        timeout: float | None = None,
     ) -> dict[str, FortranArray]:
         """Execute the shared-memory back end: one shared array set, ranks
         as threads, barriers at the points where the MPI target would
@@ -1263,7 +1277,17 @@ class CompiledKernel:
         construction: within a nest the CP guards make cross-rank writes
         disjoint (partial replication writes identical values), and the
         generated barriers order producer nests before consumer nests.
+
+        ``executor="process"`` maps the arrays onto
+        ``multiprocessing.shared_memory`` segments and runs one real OS
+        process per rank (:func:`repro.runtime.procexec.run_kernel`).
         """
+        if executor == "process":
+            from ..runtime import procexec
+
+            return procexec.run_kernel(
+                self, scalars, init=init, target="shmem", timeout=timeout
+            )
         from ..runtime.model import MachineModel
 
         fn = self.node_program("shmem")

@@ -1,8 +1,9 @@
 """Command-line entry: ``python -m repro.eval <target>``.
 
 Targets: table-8.1, table-8.2, figure-8.1 .. figure-8.4, diffstats,
-ablations, chaos, check.  See DESIGN.md's per-experiment index, "Fault
-model & chaos harness" and "Static SPMD verification".
+ablations, chaos, check, bench, fuzz, proc.  See DESIGN.md's
+per-experiment index, "Fault model & chaos harness", "Static SPMD
+verification" and "Real-process execution & supervision".
 """
 
 from __future__ import annotations
@@ -30,7 +31,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=["table-8.1", "table-8.2", "figure-8.1", "figure-8.2",
                  "figure-8.3", "figure-8.4", "diffstats", "ablations", "phases",
-                 "chaos", "check", "bench", "fuzz"],
+                 "chaos", "check", "bench", "fuzz", "proc"],
     )
     ap.add_argument("--classes", default="A,B", help="comma list of NAS classes")
     ap.add_argument("--procs", default="4,9,16,25", help="comma list of processor counts")
@@ -74,6 +75,20 @@ def main(argv: list[str] | None = None) -> int:
                     help="fuzz: first seed (corpus is deterministic per seed)")
     ap.add_argument("--no-shrink", action="store_true",
                     help="fuzz: report failures unshrunk (faster)")
+    ap.add_argument("--process", action="store_true",
+                    help="fuzz: add the real-process executor to the "
+                         "differential backend matrix")
+    ap.add_argument("--real-process", action="store_true",
+                    help="chaos: SIGKILL/SIGSTOP live workers of the "
+                         "real-process backend instead of simulated faults")
+    ap.add_argument("--timeout", type=float, default=None, metavar="S",
+                    help="overall wall-clock budget per run in host seconds "
+                         "(chaos/proc; typed ExecutorTimeout on expiry)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="proc: CI subset (one paper kernel + one NAS "
+                         "class-S kernel, vector backend)")
+    ap.add_argument("--skip-scalar", action="store_true",
+                    help="proc: verify the vector backend only")
     args = ap.parse_args(argv)
 
     classes = tuple(args.classes.split(","))
@@ -109,9 +124,19 @@ def main(argv: list[str] | None = None) -> int:
         from .chaos import crash_sweep, drop_sweep, format_chaos
 
         nprocs = args.nprocs if args.nprocs != 16 else 4  # class-S default grid
+        if args.real_process:
+            from .chaos import format_proc_chaos, run_proc_chaos
+
+            results = [
+                run_proc_chaos(bench=args.bench, nprocs=nprocs, kind=kind,
+                               timeout=args.timeout or 300.0)
+                for kind in ("kill", "stall")
+            ]
+            print(format_proc_chaos(results))
+            return 0 if all(r.ok for r in results) else 1
         functional = args.strategy == "dhpf"
         kw = dict(bench=args.bench, strategy=args.strategy, nprocs=nprocs,
-                  functional=functional)
+                  functional=functional, timeout=args.timeout)
         print(format_chaos(
             drop_sweep(args.drop, seed=args.seed, **kw),
             f"Chaos: message-drop sweep ({args.bench}/{args.strategy}, "
@@ -218,9 +243,22 @@ def main(argv: list[str] | None = None) -> int:
             start_seed=args.start_seed,
             progress=lambda msg: print(f"  [fuzz] {msg}", flush=True),
             do_shrink=not args.no_shrink,
+            process=args.process,
         )
         print(result.summary())
         return 0 if result.passed else 1
+    elif args.target == "proc":
+        from .procbench import format_proc, run_proc_verify
+
+        report = run_proc_verify(
+            only=args.bench_kernel,
+            backends=("vector",) if args.skip_scalar else ("vector", "scalar"),
+            smoke=args.smoke,
+            timeout=args.timeout or 300.0,
+            progress=lambda msg: print(f"  [proc] {msg}", flush=True),
+        )
+        print(format_proc(report))
+        return 0 if report.ok else 1
     elif args.target == "bench":
         from .bench import check_guards, run_bench, write_json
 

@@ -8,8 +8,19 @@ verification, how many restart attempts it took, and what the resilience
 overhead was in virtual time (retransmission stretch + work lost to
 crashes and re-done from the last coordinated checkpoint).
 
-``python -m repro.eval chaos`` prints the standard sweep; the functions
-here are the library surface used by ``benchmarks/test_chaos.py``.
+Two fault substrates:
+
+- *simulated* (:func:`run_chaos`, :func:`drop_sweep`, :func:`crash_sweep`)
+  — deterministic virtual-time faults on the virtual machine;
+- *real* (:func:`run_proc_chaos`) — a live worker process of the
+  supervised real-process backend is SIGKILLed (or SIGSTOPped) mid-run;
+  the supervisor detects it, restarts the gang from the latest coordinated
+  checkpoint, and the recovered result is asserted bitwise-identical to
+  the fault-free run.
+
+``python -m repro.eval chaos`` prints the standard sweep
+(``--real-process`` for the live-worker mode); the functions here are the
+library surface used by ``benchmarks/test_chaos.py``.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from ..parallel import run_parallel
 from ..parallel.checkpoint import CheckpointConfig, CheckpointStore
 from ..runtime.faults import FaultPlan, RankCrashed, RankFault
 from ..runtime.model import MachineModel, TEST_MACHINE
+from ..runtime.procexec import ProcConfig, ProcFault
 
 
 @dataclass
@@ -68,6 +80,7 @@ def run_chaos(
     checkpoint_interval: int = 1,
     max_attempts: int = 8,
     baseline_time: Optional[float] = None,
+    timeout: Optional[float] = None,
 ) -> ChaosResult:
     """Run one configuration under ``plan``, restarting from checkpoints.
 
@@ -77,11 +90,15 @@ def run_chaos(
     transport inside the run.  Functional runs are verified two ways:
     bitwise against the serial solver, and (on the reference problem)
     against the stored NPB residuals via :func:`repro.nas.verify.verify`.
+
+    ``timeout`` bounds each attempt's host wall-clock time (typed
+    :class:`~repro.runtime.procexec.ExecutorTimeout` on expiry — a
+    pathological kernel cannot hang the sweep).
     """
     if baseline_time is None:
         baseline = run_parallel(
             bench, strategy, nprocs, shape, niter, model,
-            functional=functional, record_trace=False,
+            functional=functional, record_trace=False, timeout=timeout,
         )
         baseline_time = baseline.time
     out = ChaosResult(
@@ -97,7 +114,7 @@ def run_chaos(
             r = run_parallel(
                 bench, strategy, nprocs, shape, niter, model,
                 functional=functional, record_trace=False,
-                faults=plan, checkpoint=cfg,
+                faults=plan, checkpoint=cfg, timeout=timeout,
             )
         except RankCrashed as crash:
             out.crash_times.append(crash.time)
@@ -154,6 +171,116 @@ def crash_sweep(
         )
         results.append(run_chaos(plan=plan, baseline_time=probe.baseline_time, **kw))
     return results
+
+
+@dataclass
+class ProcChaosResult:
+    """Outcome of one real-process fault-injection run."""
+
+    bench: str
+    nprocs: int
+    fault: ProcFault
+    completed: bool = False
+    restarts: int = 0
+    bitwise: bool = False  # recovered result == fault-free result, bitwise
+    verified: Optional[bool] = None  # NPB verification on the reference grid
+    wall_fault_free: float = 0.0
+    wall_chaotic: float = 0.0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.completed and self.bitwise and self.verified is not False
+
+
+def run_proc_chaos(
+    bench: str = "sp",
+    nprocs: int = 4,
+    shape: tuple[int, int, int] = VERIFY_GRID,
+    niter: int = VERIFY_STEPS,
+    kill_rank: int = 1,
+    after_iteration: int = 2,
+    kind: str = "kill",
+    checkpoint_interval: int = 1,
+    timeout: float = 300.0,
+    config: Optional[ProcConfig] = None,
+) -> ProcChaosResult:
+    """SIGKILL (or SIGSTOP) a live worker mid-run and assert recovery.
+
+    Runs the dhpf strategy functionally on the real-process backend twice:
+    once fault-free, once with ``kill_rank`` killed after it checkpoints
+    ``after_iteration``.  The supervisor must detect the death, restart
+    the gang from the latest coordinated checkpoint, and produce a result
+    bitwise-identical to the fault-free run (and, on the reference
+    problem, NPB-verified).
+    """
+    cfg = config or ProcConfig(
+        heartbeat_interval=0.02,
+        heartbeat_timeout=30.0 if kind == "kill" else 2.0,
+        max_restarts=2,
+        restart_backoff=0.05,
+    )
+    base = run_parallel(
+        bench, "dhpf", nprocs, shape, niter, functional=True,
+        record_trace=False, executor="process", timeout=timeout,
+        executor_config=cfg,
+    )
+    fault = ProcFault(rank=kill_rank, kind=kind, after_iteration=after_iteration)
+    out = ProcChaosResult(bench, nprocs, fault, wall_fault_free=base.wall_time)
+    if base.executor != "process":
+        out.detail = "process backend unavailable (degraded to virtual machine)"
+        return out
+    store = CheckpointStore()
+    try:
+        chaotic = run_parallel(
+            bench, "dhpf", nprocs, shape, niter, functional=True,
+            record_trace=False, executor="process", timeout=timeout,
+            executor_config=cfg, proc_fault=fault,
+            checkpoint=CheckpointConfig(store=store, interval=checkpoint_interval),
+        )
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+        out.detail = f"{type(exc).__name__}: {exc}"
+        return out
+    out.completed = True
+    out.restarts = chaotic.restarts
+    out.wall_chaotic = chaotic.wall_time
+    out.bitwise = bool(np.array_equal(base.u, chaotic.u))
+    if chaotic.executor != "process":
+        out.detail = "chaotic run degraded to the virtual machine"
+    if out.bitwise:
+        ref = _reference_field(bench, shape, niter)
+        ok = bool(np.array_equal(chaotic.u, ref))
+        if (tuple(shape), niter) == (VERIFY_GRID, VERIFY_STEPS):
+            solver = (SPSolver if bench == "sp" else BTSolver)(shape)
+            solver.u = chaotic.u
+            ok = ok and verify(bench, solver.residual_norms(), solver.checksum())
+        out.verified = ok
+    return out
+
+
+def format_proc_chaos(results: Sequence[ProcChaosResult]) -> str:
+    """ASCII table of real-process fault-injection outcomes."""
+    title = "Chaos: real-process faults (SIGKILL/SIGSTOP live workers)"
+    lines = [title, "=" * len(title)]
+    hdr = (
+        f"{'bench':>5} {'P':>3} {'fault':>6} {'rank':>4} {'after_it':>8} "
+        f"{'done':>5} {'restarts':>8} {'bitwise':>7} {'verified':>8} "
+        f"{'wall_ok':>8} {'wall_chaos':>10}"
+    )
+    lines.append(hdr)
+    lines.append("-" * len(hdr))
+    for r in results:
+        verified = "-" if r.verified is None else ("yes" if r.verified else "NO")
+        lines.append(
+            f"{r.bench:>5} {r.nprocs:>3} {r.fault.kind:>6} {r.fault.rank:>4} "
+            f"{str(r.fault.after_iteration):>8} "
+            f"{'yes' if r.completed else 'NO':>5} {r.restarts:>8} "
+            f"{'yes' if r.bitwise else 'NO':>7} {verified:>8} "
+            f"{r.wall_fault_free:>7.2f}s {r.wall_chaotic:>9.2f}s"
+        )
+        if r.detail:
+            lines.append(f"      note: {r.detail}")
+    return "\n".join(lines)
 
 
 def format_chaos(results: Sequence[ChaosResult], title: str = "Chaos sweep") -> str:

@@ -295,26 +295,22 @@ def _serial_reference(source: str) -> "dict[str, np.ndarray]":
     return out
 
 
-def _check_backend(spec: ProgramSpec, source: str, ref, backend: str) -> "str | None":
-    """Compile leniently with one backend and compare both targets against
-    the serial reference.  Returns a failure detail string or None."""
-    from ..codegen.spmd import compile_kernel
-
-    kernel = compile_kernel(source, spec.nprocs, strict=False, backend=backend)
-    # shared-memory target: the final shared arrays must match exactly
-    shared = kernel.run_shmem({})
+def _shmem_mismatch(kernel, shared, ref, label: str) -> "str | None":
     for name, want in ref.items():
         if name in kernel.private_arrays:
             continue
         got = np.asarray(shared[name].data)
         if not np.array_equal(got, want):
             return (
-                f"{backend}/shmem mismatch on {name!r}: "
+                f"{label} mismatch on {name!r}: "
                 f"got {got.tolist()} want {want.tolist()}"
             )
-    # message-passing target: every distributed array must be exact on its
-    # owners (non-owned elements are scratch by the SPMD contract)
-    ranks = kernel.run({})
+    return None
+
+
+def _mpi_mismatch(kernel, ranks, ref, label: str) -> "str | None":
+    # every distributed array must be exact on its owners (non-owned
+    # elements are scratch by the SPMD contract)
     for name, want in ref.items():
         if not kernel.ctx.is_distributed(name):
             continue
@@ -326,13 +322,49 @@ def _check_backend(spec: ProgramSpec, source: str, ref, backend: str) -> "str | 
                 merged[arr._index(el)] = arr.data[arr._index(el)]
         if not np.array_equal(merged, want):
             return (
-                f"{backend}/mpi owner mismatch on {name!r}: "
+                f"{label} owner mismatch on {name!r}: "
                 f"got {merged.tolist()} want {want.tolist()}"
             )
     return None
 
 
-def check_spec(spec: ProgramSpec) -> "tuple[str, str] | None":
+def _check_backend(
+    spec: ProgramSpec, source: str, ref, backend: str, process: bool = False
+) -> "str | None":
+    """Compile leniently with one backend and compare both targets against
+    the serial reference.  Returns a failure detail string or None.
+
+    With ``process=True`` the same node programs are also executed on the
+    supervised real-process backend (both targets) and compared — the
+    executor joins the differential matrix alongside the two codegen
+    backends."""
+    from ..codegen.spmd import compile_kernel
+
+    kernel = compile_kernel(source, spec.nprocs, strict=False, backend=backend)
+    # shared-memory target: the final shared arrays must match exactly
+    shared = kernel.run_shmem({})
+    detail = _shmem_mismatch(kernel, shared, ref, f"{backend}/shmem")
+    if detail is not None:
+        return detail
+    ranks = kernel.run({})
+    detail = _mpi_mismatch(kernel, ranks, ref, f"{backend}/mpi")
+    if detail is not None:
+        return detail
+    if process:
+        from ..runtime import procexec
+
+        shared = procexec.run_kernel(kernel, {}, target="shmem", timeout=60.0)
+        detail = _shmem_mismatch(kernel, shared, ref, f"{backend}/shmem/process")
+        if detail is not None:
+            return detail
+        ranks = procexec.run_kernel(kernel, {}, target="mpi", timeout=60.0)
+        detail = _mpi_mismatch(kernel, ranks, ref, f"{backend}/mpi/process")
+        if detail is not None:
+            return detail
+    return None
+
+
+def check_spec(spec: ProgramSpec, process: bool = False) -> "tuple[str, str] | None":
     """Differentially test one spec.  Returns ``(kind, detail)`` on failure."""
     source = spec.render()
     try:
@@ -341,7 +373,7 @@ def check_spec(spec: ProgramSpec) -> "tuple[str, str] | None":
         return "compile", f"serial reference failed: {type(exc).__name__}: {exc}"
     for backend in ("scalar", "vector"):
         try:
-            detail = _check_backend(spec, source, ref, backend)
+            detail = _check_backend(spec, source, ref, backend, process=process)
         except Exception as exc:
             return (
                 "compile",
@@ -406,13 +438,13 @@ def _spec_variants(spec: ProgramSpec):
             yield replace(spec, pre=())
 
 
-def shrink(spec: ProgramSpec, kind: str) -> ProgramSpec:
+def shrink(spec: ProgramSpec, kind: str, process: bool = False) -> ProgramSpec:
     """Greedy spec-level shrink: keep any smaller spec that still fails the
     same way (same failure *kind*; details may drift as the program shrinks)."""
     current = spec
     for _ in range(40):  # bounded — each accepted step strictly shrinks
         for cand in _spec_variants(current):
-            res = check_spec(cand)
+            res = check_spec(cand, process=process)
             if res is not None and res[0] == kind:
                 current = cand
                 break
@@ -491,18 +523,23 @@ def run_fuzz(
     malformed_every: int = 5,
     progress=None,
     do_shrink: bool = True,
+    process: bool = False,
 ) -> FuzzResult:
     """Fuzz ``seeds`` well-formed programs (and one mutated source per
-    ``malformed_every`` seeds) through the differential harness."""
+    ``malformed_every`` seeds) through the differential harness.
+
+    ``process=True`` adds the supervised real-process executor to the
+    backend matrix: every well-formed program also runs on forked OS
+    workers (both targets) and must match the serial reference bitwise."""
     result = FuzzResult()
     for seed in range(start_seed, start_seed + seeds):
         result.seeds += 1
         spec = gen_spec(seed)
         source = spec.render()
-        res = check_spec(spec)
+        res = check_spec(spec, process=process)
         if res is not None:
             kind, detail = res
-            small = shrink(spec, kind) if do_shrink else spec
+            small = shrink(spec, kind, process=process) if do_shrink else spec
             result.failures.append(
                 FuzzFailure(seed, kind, detail, small.render(), small)
             )

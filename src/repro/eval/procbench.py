@@ -1,0 +1,236 @@
+"""Process-backend verification harness: ``python -m repro.eval proc``.
+
+Runs every paper kernel (both codegen backends, both targets) and the NAS
+SP/BT class-S dhpf solvers on the supervised real-process executor and
+asserts the results are bitwise-identical to the virtual machine — which
+the tier-1 suite in turn pins bitwise to the serial interpreter/solver, so
+one pass here closes the chain serial == virtual == real processes.  The
+NAS rows additionally re-check directly against the serial solver and the
+pinned NPB residuals.
+
+Timings are reported for both executors.  They are honest wall-clock
+measurements on the current host: with one core the process backend pays
+fork/IPC overhead for no parallel gain; with N cores the gang runs
+genuinely concurrently.  ``--smoke`` is the CI subset (one paper kernel +
+one class-S kernel, vector backend).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..nas.verify import VERIFY_GRID, VERIFY_STEPS
+from ..parallel import run_parallel
+from ..runtime import procexec
+from .bench import KernelSpec, _seed_init, kernel_specs
+
+
+@dataclass
+class ProcCheck:
+    """One (kernel, backend, target) compared across executors."""
+
+    name: str
+    backend: str
+    target: str  # 'mpi' | 'shmem'
+    nprocs: int
+    bitwise: bool
+    vm_s: float
+    proc_s: float
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.bitwise and not self.detail
+
+
+@dataclass
+class DhpfProcRow:
+    """One NAS class-S solver compared across executors."""
+
+    bench: str
+    nprocs: int
+    executor: str  # what actually ran ("process", or "virtual" if degraded)
+    bitwise: bool
+    verified: bool
+    restarts: int
+    vm_s: float
+    proc_s: float
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.executor == "process" and self.bitwise and self.verified
+
+
+@dataclass
+class ProcReport:
+    checks: list[ProcCheck] = field(default_factory=list)
+    dhpf: list[DhpfProcRow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks) and all(r.ok for r in self.dhpf)
+
+
+def _ranks_equal(a: list, b: list) -> bool:
+    return len(a) == len(b) and all(
+        set(x) == set(y)
+        and all(x[n].data.tobytes() == y[n].data.tobytes() for n in x)
+        for x, y in zip(a, b)
+    )
+
+
+def _arrays_equal(a: dict, b: dict) -> bool:
+    return set(a) == set(b) and all(
+        a[n].data.tobytes() == b[n].data.tobytes() for n in a
+    )
+
+
+def _check_kernel(
+    spec: KernelSpec, backend: str, timeout: float
+) -> list[ProcCheck]:
+    ck = spec.compile(backend)
+    seed = _seed_init(ck, spec.seed_bias)
+    out: list[ProcCheck] = []
+
+    t0 = time.perf_counter()
+    vm_ranks = ck.run(dict(spec.scalars), init=seed)
+    vm_s = time.perf_counter() - t0
+    try:
+        t0 = time.perf_counter()
+        proc_ranks = procexec.run_kernel(
+            ck, dict(spec.scalars), init=seed, target="mpi", timeout=timeout
+        )
+        proc_s = time.perf_counter() - t0
+        out.append(ProcCheck(
+            spec.name, backend, "mpi", spec.nprocs,
+            _ranks_equal(vm_ranks, proc_ranks), vm_s, proc_s,
+        ))
+    except procexec.ExecutorError as exc:
+        out.append(ProcCheck(
+            spec.name, backend, "mpi", spec.nprocs, False, vm_s, 0.0,
+            detail=f"{type(exc).__name__}: {exc}",
+        ))
+
+    def shinit(A):
+        seed(0, A)
+
+    t0 = time.perf_counter()
+    vm_shared = ck.run_shmem(dict(spec.scalars), init=shinit)
+    vm_s = time.perf_counter() - t0
+    try:
+        t0 = time.perf_counter()
+        proc_shared = procexec.run_kernel(
+            ck, dict(spec.scalars), init=shinit, target="shmem", timeout=timeout
+        )
+        proc_s = time.perf_counter() - t0
+        out.append(ProcCheck(
+            spec.name, backend, "shmem", spec.nprocs,
+            _arrays_equal(vm_shared, proc_shared), vm_s, proc_s,
+        ))
+    except procexec.ExecutorError as exc:
+        out.append(ProcCheck(
+            spec.name, backend, "shmem", spec.nprocs, False, vm_s, 0.0,
+            detail=f"{type(exc).__name__}: {exc}",
+        ))
+    return out
+
+
+def _check_dhpf(bench: str, timeout: float) -> DhpfProcRow:
+    from ..nas import BTSolver, SPSolver
+    from ..nas.verify import verify
+
+    base = run_parallel(
+        bench, "dhpf", 4, VERIFY_GRID, VERIFY_STEPS, functional=True,
+        record_trace=False, timeout=timeout,
+    )
+    pr = run_parallel(
+        bench, "dhpf", 4, VERIFY_GRID, VERIFY_STEPS, functional=True,
+        record_trace=False, executor="process", timeout=timeout,
+    )
+    bitwise = bool(np.array_equal(base.u, pr.u))
+    solver = (SPSolver if bench == "sp" else BTSolver)(VERIFY_GRID)
+    solver.run(VERIFY_STEPS)
+    serial_ok = bool(np.array_equal(pr.u, solver.u))
+    solver.u = pr.u
+    verified = serial_ok and verify(
+        bench, solver.residual_norms(), solver.checksum()
+    )
+    detail = "; ".join(d.message for d in pr.diagnostics)
+    return DhpfProcRow(
+        bench, 4, pr.executor, bitwise, bool(verified), pr.restarts,
+        base.wall_time, pr.wall_time, detail,
+    )
+
+
+def run_proc_verify(
+    only: Optional[str] = None,
+    backends: Sequence[str] = ("vector", "scalar"),
+    smoke: bool = False,
+    timeout: float = 300.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ProcReport:
+    """Verify the process backend against the virtual machine.
+
+    ``smoke`` runs the CI subset: the first paper kernel plus one NAS
+    class-S kernel, vector backend only, plus the SP dhpf solver."""
+    specs = kernel_specs()
+    if smoke:
+        specs = [specs[0]] + [s for s in specs if s.class_s][:1]
+        backends = ("vector",)
+    if only:
+        specs = [s for s in specs if only.lower() in s.name.lower()]
+    report = ProcReport()
+    for spec in specs:
+        for backend in backends:
+            if progress is not None:
+                progress(f"{spec.name} [{backend}]")
+            report.checks.extend(_check_kernel(spec, backend, timeout))
+    benches = ("sp",) if smoke else ("sp", "bt")
+    for bench in benches:
+        if progress is not None:
+            progress(f"NAS {bench} class S dhpf")
+        report.dhpf.append(_check_dhpf(bench, timeout))
+    return report
+
+
+def format_proc(report: ProcReport) -> str:
+    """ASCII tables (kernels, then NAS solvers) plus a PASS/FAIL verdict."""
+    title = "Process backend vs virtual machine (bitwise)"
+    lines = [title, "=" * len(title)]
+    hdr = (
+        f"{'kernel':<28} {'backend':>7} {'target':>6} {'P':>3} "
+        f"{'bitwise':>7} {'vm_s':>8} {'proc_s':>8}"
+    )
+    lines.append(hdr)
+    lines.append("-" * len(hdr))
+    for c in report.checks:
+        lines.append(
+            f"{c.name:<28} {c.backend:>7} {c.target:>6} {c.nprocs:>3} "
+            f"{'yes' if c.bitwise else 'NO':>7} {c.vm_s:>8.3f} {c.proc_s:>8.3f}"
+        )
+        if c.detail:
+            lines.append(f"    note: {c.detail}")
+    lines.append("")
+    hdr2 = (
+        f"{'NAS class S (dhpf)':<20} {'P':>3} {'executor':>8} {'bitwise':>7} "
+        f"{'verified':>8} {'restarts':>8} {'vm_s':>8} {'proc_s':>8}"
+    )
+    lines.append(hdr2)
+    lines.append("-" * len(hdr2))
+    for r in report.dhpf:
+        lines.append(
+            f"{r.bench:<20} {r.nprocs:>3} {r.executor:>8} "
+            f"{'yes' if r.bitwise else 'NO':>7} "
+            f"{'yes' if r.verified else 'NO':>8} {r.restarts:>8} "
+            f"{r.vm_s:>8.3f} {r.proc_s:>8.3f}"
+        )
+        if r.detail:
+            lines.append(f"    note: {r.detail}")
+    lines.append("")
+    lines.append("PASS" if report.ok else "FAIL")
+    return "\n".join(lines)

@@ -18,7 +18,7 @@ benchmark harness.
 """
 
 from .api import RunResult, run_parallel
-from .checkpoint import CheckpointConfig, CheckpointStore
+from .checkpoint import CheckpointConfig, CheckpointCorrupted, CheckpointStore
 from .decomp import BlockDecomp1D, BlockDecomp2D
 
 __all__ = [
@@ -27,5 +27,6 @@ __all__ = [
     "BlockDecomp1D",
     "BlockDecomp2D",
     "CheckpointConfig",
+    "CheckpointCorrupted",
     "CheckpointStore",
 ]

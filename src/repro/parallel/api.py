@@ -2,14 +2,23 @@
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
 
+from ..diag import CompileDiagnostic, I_FALLBACK, Severity
 from ..runtime import Trace, VirtualMachine
 from ..runtime.faults import FaultPlan
 from ..runtime.model import MachineModel, TEST_MACHINE
+from ..runtime.procexec import (
+    ExecutorError,
+    ExecutorTimeout,
+    ProcConfig,
+    ProcessExecutor,
+    ProcFault,
+)
 from ..runtime.reliable import ReliableConfig
 from .checkpoint import CheckpointConfig
 from .decomp import BlockDecomp2D
@@ -18,7 +27,7 @@ from .dhpf import DhpfOptions, make_dhpf_node
 
 @dataclass
 class RunResult:
-    """Outcome of one parallel run on the virtual machine."""
+    """Outcome of one parallel run (virtual machine or real processes)."""
 
     bench: str
     strategy: str
@@ -29,6 +38,10 @@ class RunResult:
     trace: Optional[Trace]
     u: Optional[np.ndarray] = None  # assembled global field (functional mode)
     per_rank: list = field(default_factory=list)
+    executor: str = "virtual"  # executor that actually ran ("virtual" | "process")
+    wall_time: float = 0.0  # host seconds spent executing
+    restarts: int = 0  # supervised gang restarts consumed (process executor)
+    diagnostics: list = field(default_factory=list)  # e.g. I-FALLBACK degradations
 
     @property
     def checksum(self) -> Optional[float]:
@@ -65,32 +78,63 @@ def run_parallel(
     faults: Optional[FaultPlan] = None,
     reliable: Optional[ReliableConfig] = None,
     checkpoint: Optional[CheckpointConfig] = None,
+    executor: str = "virtual",
+    timeout: Optional[float] = None,
+    executor_config: Optional[ProcConfig] = None,
+    proc_fault: Optional[ProcFault] = None,
 ) -> RunResult:
-    """Run one (benchmark, strategy) configuration on the virtual machine.
+    """Run one (benchmark, strategy) configuration.
 
     bench: 'sp' | 'bt'; strategy: 'dhpf' | 'pgi' | 'handmpi'.
     ``functional=True`` computes real numpy data (small grids; result
     assembled into ``RunResult.u``); otherwise only the work model runs.
 
+    ``executor`` selects where the node programs execute:
+
+    - ``"virtual"`` (default) — the deterministic virtual machine with
+      modeled time;
+    - ``"process"`` — the supervised real-process backend
+      (:mod:`repro.runtime.procexec`): one forked OS process per rank,
+      heartbeat monitoring, typed crash/hang detection, bounded
+      checkpoint-based restart.  If the backend is unavailable or
+      exhausts its restarts, the run **degrades to the virtual machine**
+      and records an ``I-FALLBACK`` diagnostic in
+      ``RunResult.diagnostics`` (inspect ``RunResult.executor`` for what
+      actually ran).  The numerics are bitwise-identical either way.
+
+    ``timeout`` is an overall wall-clock budget in host seconds covering
+    both executors (typed :class:`~repro.runtime.procexec.ExecutorTimeout`
+    on expiry — a timeout is an exhausted budget, so it never triggers
+    restart or degradation).
+
     Resilience knobs: ``faults`` injects a deterministic
     :class:`~repro.runtime.faults.FaultPlan`; ``reliable`` tunes the
-    retransmission transport that masks its message faults; ``checkpoint``
-    enables coordinated snapshot/restart for the dhpf and handmpi
-    strategies (re-run with the same store after a
-    :class:`~repro.runtime.faults.RankCrashed` to recover).
+    retransmission transport that masks its message faults (both model
+    *simulated* failures, so they require the virtual executor);
+    ``checkpoint`` enables coordinated snapshot/restart for the dhpf and
+    handmpi strategies; ``proc_fault`` injects one *real* fault
+    (SIGKILL/SIGSTOP) into a live process gang — the chaos harness's
+    process mode.
     """
     bench = bench.lower()
     strategy = strategy.lower()
     if bench not in ("sp", "bt"):
         raise ValueError(f"unknown benchmark {bench!r}")
+    if executor not in ("virtual", "process"):
+        raise ValueError(f"unknown executor {executor!r} (virtual | process)")
     if checkpoint is not None and strategy == "pgi":
         raise ValueError(
             "checkpoint/restart supports the dhpf and handmpi strategies only"
         )
+    if executor == "process" and (faults is not None or reliable is not None):
+        raise ValueError(
+            "FaultPlan/ReliableConfig model simulated faults in virtual time "
+            "and require executor='virtual'; real-process faults are injected "
+            "via proc_fault (see repro.eval.chaos)"
+        )
+    if proc_fault is not None and executor != "process":
+        raise ValueError("proc_fault requires executor='process'")
 
-    vm = VirtualMachine(
-        nprocs, model, record_trace=record_trace, faults=faults, reliable=reliable
-    )
     if strategy == "dhpf":
         from ..distrib.grid import ProcessorGrid
 
@@ -99,14 +143,12 @@ def run_parallel(
             bench, shape, niter, pgrid, options or DhpfOptions(), functional,
             checkpoint=checkpoint,
         )
-        results = vm.run(node)
     elif strategy == "pgi":
         from .pgi import PgiOptions, make_pgi_node
 
         node, _ = make_pgi_node(
             bench, shape, niter, nprocs, options or PgiOptions.for_bench(bench), functional
         )
-        results = vm.run(node)
     elif strategy == "handmpi":
         from .handmpi import HandMpiOptions, make_handmpi_node
 
@@ -119,10 +161,58 @@ def run_parallel(
             bench, shape, niter, nprocs, options or HandMpiOptions.for_bench(bench),
             checkpoint=checkpoint,
         )
-        results = vm.run(node)
     else:
         raise ValueError(f"unknown strategy {strategy!r}")
 
+    diagnostics: list[CompileDiagnostic] = []
+    used = executor
+    restarts = 0
+    trace: Optional[Trace] = None
+    results: Optional[list] = None
+    wall0 = _time.monotonic()
+
+    if executor == "process":
+        try:
+            ex = ProcessExecutor(nprocs, model, config=executor_config)
+            results = ex.run(
+                node, checkpoint=checkpoint, timeout=timeout, fault=proc_fault
+            )
+            restarts = ex.restarts
+        except ExecutorTimeout:
+            raise  # an exhausted budget is final: no retry, no fallback
+        except ExecutorError as exc:
+            # unavailable, crashed past its restart budget, hung, or the
+            # node program itself failed: degrade to the deterministic
+            # virtual machine and say so with a structured diagnostic
+            diagnostics.append(CompileDiagnostic(
+                Severity.INFO, I_FALLBACK,
+                f"process executor degraded to the virtual machine after "
+                f"{type(exc).__name__}: {exc}",
+                pass_name="procexec",
+            ))
+            used = "virtual"
+
+    if results is None:
+        remaining = None
+        if timeout is not None:
+            remaining = timeout - (_time.monotonic() - wall0)
+            if remaining <= 0:
+                raise ExecutorTimeout(
+                    f"wall-clock budget of {timeout:.3g}s exhausted before the "
+                    f"virtual-machine fallback could start"
+                )
+        vm = VirtualMachine(
+            nprocs, model, record_trace=record_trace, faults=faults,
+            reliable=reliable,
+        )
+        results = vm.run(node, timeout=remaining)
+        trace = vm.trace
+
+    wall = _time.monotonic() - wall0
     time = max(r["t"] for r in results)
     u = _assemble(shape, results) if functional and "u_own" in results[0] else None
-    return RunResult(bench, strategy, nprocs, shape, niter, time, vm.trace, u, results)
+    return RunResult(
+        bench, strategy, nprocs, shape, niter, time, trace, u, results,
+        executor=used, wall_time=wall, restarts=restarts,
+        diagnostics=diagnostics,
+    )

@@ -1,34 +1,68 @@
-"""Coordinated in-memory checkpoint/restart for the parallel solvers.
+"""Coordinated checkpoint/restart for the parallel solvers.
 
 The dHPF and hand-MPI node programs checkpoint at iteration boundaries —
 globally consistent cut points, since every rank finishes iteration *k*
 before touching iteration *k+1* state (the ghost exchange at the top of
 each step is the synchronizer).  A :class:`CheckpointStore` outlives the
-virtual machine: after a :class:`~repro.runtime.faults.RankCrashed` the
-harness simply re-runs the same node program with the same store, and
-every rank resumes from the latest iteration for which *all* ranks saved a
-snapshot.  Because the solvers are deterministic, the recovered run is
-bitwise identical to an uninterrupted one and still passes NPB-style
-verification (:mod:`repro.nas.verify`).
+executor: after a :class:`~repro.runtime.faults.RankCrashed` (virtual
+machine) or a :class:`~repro.runtime.procexec.WorkerCrashed` (real
+processes) the harness simply re-runs the same node program with the same
+store, and every rank resumes from the latest iteration for which *all*
+ranks saved a snapshot.  Because the solvers are deterministic, the
+recovered run is bitwise identical to an uninterrupted one and still
+passes NPB-style verification (:mod:`repro.nas.verify`).
 
 Functional runs snapshot the full local ``u`` tile (owned + ghost planes,
 exactly the state an uninterrupted run would carry into the next
 iteration); work-model runs snapshot only the iteration marker.
+
+Stores can also persist to disk (one self-validating file per iteration;
+see :meth:`CheckpointStore.save_dir`).  The on-disk format carries a magic
+header, payload length, and CRC so a truncated or corrupted file raises a
+typed :class:`CheckpointCorrupted` instead of a raw unpickling crash, and
+directory recovery (:meth:`CheckpointStore.load_dir`) skips damaged files
+and falls back to the newest intact checkpoint.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import re
+import struct
 import threading
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+#: on-disk header: magic, then big-endian (crc32, payload_length)
+_MAGIC = b"RPROCKPT1\n"
+_HEADER = struct.Struct(">IQ")
+_FILE_RE = re.compile(r"^ckpt-(\d{8})\.rpc$")
+
+
+class CheckpointCorrupted(RuntimeError):
+    """A checkpoint file failed validation (truncated, bit-rotted, or not
+    a checkpoint at all).  Carries the path and a machine-checkable reason
+    so recovery code can log it and fall back to an older checkpoint."""
+
+    def __init__(self, path: str, reason: str):
+        super().__init__(f"corrupted checkpoint {path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
 
 class CheckpointStore:
-    """Snapshots keyed by (iteration, rank); survives VM restarts."""
+    """Snapshots keyed by (iteration, rank); survives executor restarts."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._snaps: dict[int, dict[int, Any]] = {}
+        #: optional mirror hook ``(iteration, rank, state) -> None``.  The
+        #: real-process executor sets this inside forked workers so saves
+        #: are forwarded to the parent supervisor, whose copy of the store
+        #: is the one a restarted gang inherits.
+        self._publish = None
 
     def save(self, iteration: int, rank: int, state: Any) -> None:
         """Record ``state`` (an array, or None in work-model mode)."""
@@ -36,6 +70,8 @@ class CheckpointStore:
             state = state.copy()
         with self._lock:
             self._snaps.setdefault(iteration, {})[rank] = state
+        if self._publish is not None:
+            self._publish(iteration, rank, state)
 
     def latest_complete(self, nranks: int) -> int:
         """Newest iteration every rank checkpointed (0 = start over)."""
@@ -55,6 +91,100 @@ class CheckpointStore:
     def clear(self) -> None:
         with self._lock:
             self._snaps.clear()
+
+    # -- disk persistence ------------------------------------------------------
+    def save_file(self, path: str, iteration: int) -> None:
+        """Write one iteration's snapshots as a self-validating file.
+
+        Layout: magic, big-endian (crc32, length), pickled
+        ``{iteration: {rank: state}}``.  Written to a temp name and
+        renamed, so a crash mid-write leaves no half-file under the final
+        name."""
+        with self._lock:
+            snaps = dict(self._snaps.get(iteration, {}))
+        payload = pickle.dumps({iteration: snaps}, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(_HEADER.pack(zlib.crc32(payload), len(payload)))
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def load_file(self, path: str) -> list[int]:
+        """Merge one checkpoint file into the store; returns the iterations
+        it contained.  Raises :class:`CheckpointCorrupted` on any damage —
+        never a raw ``EOFError``/``UnpicklingError``/``KeyError``."""
+        try:
+            with open(path, "rb") as fh:
+                head = fh.read(len(_MAGIC))
+                if head != _MAGIC:
+                    raise CheckpointCorrupted(path, "bad magic (not a checkpoint file)")
+                raw = fh.read(_HEADER.size)
+                if len(raw) < _HEADER.size:
+                    raise CheckpointCorrupted(path, "truncated header")
+                crc, length = _HEADER.unpack(raw)
+                payload = fh.read(length)
+        except OSError as exc:
+            raise CheckpointCorrupted(path, f"unreadable: {exc}") from exc
+        if len(payload) < length:
+            raise CheckpointCorrupted(
+                path, f"truncated payload ({len(payload)} of {length} bytes)"
+            )
+        if zlib.crc32(payload) != crc:
+            raise CheckpointCorrupted(path, "CRC mismatch (bit rot or torn write)")
+        try:
+            snaps = pickle.loads(payload)
+        except Exception as exc:  # CRC passed but unpickling failed: corrupt
+            raise CheckpointCorrupted(path, f"undecodable payload: {exc}") from exc
+        if not isinstance(snaps, dict) or not all(
+            isinstance(it, int) and isinstance(per_rank, dict)
+            for it, per_rank in snaps.items()
+        ):
+            raise CheckpointCorrupted(path, "payload is not {iteration: {rank: state}}")
+        with self._lock:
+            for it, per_rank in snaps.items():
+                self._snaps.setdefault(it, {}).update(per_rank)
+        return sorted(snaps)
+
+    def save_dir(self, directory: str) -> list[str]:
+        """Persist every iteration as ``ckpt-XXXXXXXX.rpc`` in ``directory``
+        (created if needed); returns the paths written."""
+        os.makedirs(directory, exist_ok=True)
+        paths = []
+        for it in self.iterations():
+            path = os.path.join(directory, f"ckpt-{it:08d}.rpc")
+            self.save_file(path, it)
+            paths.append(path)
+        return paths
+
+    @classmethod
+    def load_dir(cls, directory: str) -> tuple["CheckpointStore", list[CheckpointCorrupted]]:
+        """Rebuild a store from a checkpoint directory, newest file first.
+
+        Damaged files are skipped (and returned as typed
+        :class:`CheckpointCorrupted` records) rather than aborting the
+        recovery — so when the newest checkpoint is truncated, the store
+        still holds the previous intact one and ``latest_complete`` resumes
+        from there."""
+        store = cls()
+        skipped: list[CheckpointCorrupted] = []
+        try:
+            names = os.listdir(directory)
+        except FileNotFoundError:
+            return store, skipped
+        files = sorted(
+            (int(m.group(1)), n)
+            for n in names
+            if (m := _FILE_RE.match(n)) is not None
+        )
+        for _, name in reversed(files):
+            try:
+                store.load_file(os.path.join(directory, name))
+            except CheckpointCorrupted as exc:
+                skipped.append(exc)
+        return store, skipped
 
 
 @dataclass

@@ -16,6 +16,16 @@ numbers land on the paper's scale.  See DESIGN.md "Substitutions".
 
 from .faults import FaultPlan, RankCrashed, RankFault
 from .model import MachineModel, IBM_SP2
+from .procexec import (
+    ExecutorError,
+    ExecutorTimeout,
+    ExecutorUnavailable,
+    ProcConfig,
+    ProcFault,
+    ProcessExecutor,
+    WorkerCrashed,
+    WorkerTimeout,
+)
 from .reliable import ReliableConfig, ReliableTransport
 from .sim import VirtualMachine, Rank, DeadlockError
 from .trace import TraceEvent, Trace
@@ -33,4 +43,12 @@ __all__ = [
     "ReliableTransport",
     "TraceEvent",
     "Trace",
+    "ProcessExecutor",
+    "ProcConfig",
+    "ProcFault",
+    "ExecutorError",
+    "ExecutorUnavailable",
+    "WorkerCrashed",
+    "WorkerTimeout",
+    "ExecutorTimeout",
 ]

@@ -29,6 +29,7 @@ Resilience (see DESIGN.md "Fault model & chaos harness"):
 from __future__ import annotations
 
 import threading
+import time as _time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
@@ -37,6 +38,7 @@ import numpy as np
 
 from .faults import FaultPlan, RankCrashed
 from .model import MachineModel, TEST_MACHINE
+from .procexec import ExecutorTimeout
 from .reliable import ReliableConfig, ReliableTransport
 from .trace import Trace, TraceEvent
 
@@ -208,6 +210,7 @@ class VirtualMachine:
         self._blocked: dict[int, tuple[int, int]] = {}
         self._done: set[int] = set()
         self._deadlock: dict[int, str] = {}
+        self._expired = False  # set by run(timeout=...); unwinds blocked ranks
         self._trace_lock = threading.Lock()
         if self.trace is not None:
             orig_add = self.trace.add
@@ -338,6 +341,12 @@ class VirtualMachine:
                     msg = self._match(key, pop=True)
                     if msg is not None:
                         return msg
+                    if self._expired:
+                        raise ExecutorTimeout(
+                            f"rank {dst} unwound: run() wall-clock budget "
+                            f"expired while waiting for (src={src}, tag={tag})",
+                            rank=dst,
+                        )
                     if dst in self._deadlock:
                         raise DeadlockError(self._deadlock.pop(dst))
                     self._check_wait_graph(dst)
@@ -354,21 +363,36 @@ class VirtualMachine:
                 self._blocked.pop(dst, None)
 
     # -- running --------------------------------------------------------------
-    def run(self, node_fn: Callable[[Rank], Any], ranks: Sequence[int] | None = None) -> list[Any]:
+    def run(
+        self,
+        node_fn: Callable[[Rank], Any],
+        ranks: Sequence[int] | None = None,
+        timeout: Optional[float] = None,
+    ) -> list[Any]:
         """Execute ``node_fn(rank)`` on every rank; returns per-rank results.
 
         Any exception in a rank thread is re-raised in the caller.  When a
         failing rank takes blocked peers down with secondary
         ``DeadlockError``s, the root cause — the first non-deadlock
         exception by rank order — is the one re-raised.
+
+        ``timeout`` is an overall *wall-clock* budget in host seconds: when
+        it expires, blocked ranks are woken and unwound, and the run raises
+        a typed :class:`~repro.runtime.procexec.ExecutorTimeout` (the same
+        error the real-process executor raises) naming the unfinished
+        ranks.  A rank stuck in pure compute cannot be unwound — its daemon
+        thread is abandoned — so a pathological kernel still cannot hang
+        the harness.
         """
         ranks = list(ranks if ranks is not None else range(self.nprocs))
         results: list[Any] = [None] * len(ranks)
         errors: list[tuple[int, BaseException]] = []
         threads = []
+        deadline = None if timeout is None else _time.monotonic() + timeout
         with self._cond:
             self._done = set(range(self.nprocs)) - set(ranks)
             self._deadlock.clear()
+            self._expired = False
 
         def runner(idx: int, r: int) -> None:
             try:
@@ -385,7 +409,25 @@ class VirtualMachine:
             threads.append(t)
             t.start()
         for t in threads:
-            t.join()
+            if deadline is None:
+                t.join()
+            else:
+                t.join(max(0.0, deadline - _time.monotonic()))
+        if deadline is not None and any(t.is_alive() for t in threads):
+            with self._cond:
+                self._expired = True  # blocked ranks raise out of _take
+                self._cond.notify_all()
+            for t in threads:
+                t.join(timeout=1.0)  # grace for the unwind to finish
+            stuck = sorted(r for t, r in zip(threads, ranks) if t.is_alive())
+            unfinished = sorted(set(ranks) - self._done) or stuck
+            raise ExecutorTimeout(
+                f"virtual-machine run exceeded its {timeout:.3g}s wall-clock "
+                f"budget with rank(s) {unfinished} unfinished"
+                + (f"; rank(s) {stuck} are compute-bound and were abandoned"
+                   if stuck else ""),
+                rank=unfinished[0] if unfinished else None,
+            )
         if errors:
             errors.sort(key=lambda e: e[0])
             primary = next(

@@ -1,5 +1,9 @@
 """Resilience subsystem tests: fault injection, reliable transport,
-wait-for-graph deadlock diagnostics, and checkpoint/restart recovery."""
+wait-for-graph deadlock diagnostics, checkpoint/restart recovery
+(in-memory and on-disk), wall-clock timeouts, and real-process chaos."""
+
+import os
+import time
 
 import numpy as np
 import pytest
@@ -7,10 +11,16 @@ import pytest
 from repro.nas import SPSolver
 from repro.nas.verify import VERIFY_GRID, VERIFY_STEPS, verify
 from repro.parallel import run_parallel
-from repro.parallel.checkpoint import CheckpointConfig, CheckpointStore
+from repro.parallel.checkpoint import (
+    CheckpointConfig,
+    CheckpointCorrupted,
+    CheckpointStore,
+)
 from repro.runtime import (
     DeadlockError,
+    ExecutorTimeout,
     FaultPlan,
+    ProcFault,
     RankCrashed,
     RankFault,
     ReliableConfig,
@@ -293,6 +303,108 @@ class TestCheckpointStore:
             CheckpointConfig(cost_per_byte=-1.0)
 
 
+class TestCheckpointFiles:
+    """On-disk checkpoints: self-validating files, typed corruption
+    diagnostics, and fallback to the previous intact checkpoint."""
+
+    @staticmethod
+    def _store(iters=(1, 2)):
+        store = CheckpointStore()
+        for it in iters:
+            for rank in range(2):
+                store.save(it, rank, np.full(4, float(10 * it + rank)))
+        return store
+
+    def test_file_roundtrip_bitwise(self, tmp_path):
+        store = self._store()
+        paths = store.save_dir(str(tmp_path))
+        assert [os.path.basename(p) for p in paths] == [
+            "ckpt-00000001.rpc", "ckpt-00000002.rpc",
+        ]
+        loaded, skipped = CheckpointStore.load_dir(str(tmp_path))
+        assert skipped == []
+        assert loaded.latest_complete(2) == 2
+        for it in (1, 2):
+            for rank in range(2):
+                assert np.array_equal(
+                    loaded.restore(it, rank), store.restore(it, rank)
+                )
+
+    def test_truncated_file_raises_typed_error(self, tmp_path):
+        path = str(tmp_path / "ckpt-00000001.rpc")
+        self._store((1,)).save_file(path, 1)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointCorrupted) as ei:
+            CheckpointStore().load_file(path)
+        assert ei.value.path == path
+        assert "truncated" in ei.value.reason
+
+    def test_bit_rot_raises_typed_error(self, tmp_path):
+        path = str(tmp_path / "ckpt-00000001.rpc")
+        self._store((1,)).save_file(path, 1)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointCorrupted, match="CRC mismatch"):
+            CheckpointStore().load_file(path)
+
+    def test_not_a_checkpoint_raises_typed_error(self, tmp_path):
+        path = str(tmp_path / "ckpt-00000001.rpc")
+        open(path, "wb").write(b"definitely not a checkpoint\n")
+        with pytest.raises(CheckpointCorrupted, match="bad magic"):
+            CheckpointStore().load_file(path)
+
+    def test_load_dir_falls_back_to_previous_intact(self, tmp_path):
+        """The newest checkpoint is torn mid-write: recovery must log it
+        (typed) and resume from the previous intact iteration — never
+        crash, never silently resume from zero."""
+        store = self._store((1, 2, 3))
+        store.save_dir(str(tmp_path))
+        newest = tmp_path / "ckpt-00000003.rpc"
+        blob = newest.read_bytes()
+        newest.write_bytes(blob[: len(blob) - 7])  # torn write
+        loaded, skipped = CheckpointStore.load_dir(str(tmp_path))
+        assert len(skipped) == 1
+        assert isinstance(skipped[0], CheckpointCorrupted)
+        assert skipped[0].path == str(newest)
+        assert loaded.latest_complete(2) == 2  # previous intact checkpoint
+        assert np.array_equal(loaded.restore(2, 1), store.restore(2, 1))
+
+    def test_load_dir_missing_directory_is_empty_store(self, tmp_path):
+        loaded, skipped = CheckpointStore.load_dir(str(tmp_path / "nope"))
+        assert skipped == [] and loaded.latest_complete(1) == 0
+
+
+class TestWallClockTimeout:
+    """``timeout=`` bounds host wall-clock on the *virtual* path too: a
+    pathological node program raises typed ExecutorTimeout, never hangs."""
+
+    def test_vm_run_times_out_on_stuck_rank(self):
+        def stuck(rank):
+            if rank.rank == 1:
+                time.sleep(30)  # host-time hang the virtual clock can't see
+            rank.barrier()
+
+        t0 = time.monotonic()
+        with pytest.raises(ExecutorTimeout, match="rank"):
+            VirtualMachine(2, TEST_MACHINE).run(stuck, timeout=0.5)
+        assert time.monotonic() - t0 < 10
+
+    def test_run_parallel_virtual_timeout_is_typed(self):
+        with pytest.raises(ExecutorTimeout):
+            run_parallel("sp", "dhpf", 4, VERIFY_GRID, 50, functional=True,
+                         record_trace=False, timeout=1e-3)
+
+    def test_generous_timeout_changes_nothing(self):
+        a = run_parallel("sp", "dhpf", 4, (12, 12, 12), 2, functional=True,
+                         record_trace=False)
+        b = run_parallel("sp", "dhpf", 4, (12, 12, 12), 2, functional=True,
+                         record_trace=False, timeout=600.0)
+        assert np.array_equal(a.u, b.u)
+        assert a.time == b.time
+
+
 SHAPE = (12, 12, 12)
 
 
@@ -386,3 +498,45 @@ class TestEndToEndResilience:
         with pytest.raises(ValueError, match="dhpf and handmpi"):
             run_parallel("sp", "pgi", 2, SHAPE, 1, TEST_MACHINE,
                          checkpoint=CheckpointConfig(store=CheckpointStore()))
+
+
+class TestRealProcessChaos:
+    """Acceptance chaos kill-test: SIGKILL a live OS worker mid-run with
+    checkpointing enabled; the supervisor must detect the death within the
+    heartbeat interval, restart the gang from the latest coordinated
+    checkpoint, and the recovered field must be bitwise-identical to the
+    fault-free run."""
+
+    def test_sigkill_recovery_bitwise(self):
+        import multiprocessing as mp
+
+        from repro.runtime import ProcConfig, procexec
+
+        cfg = ProcConfig(heartbeat_interval=0.02, max_restarts=2,
+                         restart_backoff=0.05)
+        fault_free = run_parallel(
+            "sp", "dhpf", 4, SHAPE, VERIFY_STEPS, functional=True,
+            record_trace=False, executor="process", timeout=300,
+            executor_config=cfg,
+        )
+        assert fault_free.executor == "process"
+        store = CheckpointStore()
+        chaotic = run_parallel(
+            "sp", "dhpf", 4, SHAPE, VERIFY_STEPS, functional=True,
+            record_trace=False, executor="process", timeout=300,
+            executor_config=cfg,
+            proc_fault=ProcFault(rank=1, kind="kill", after_iteration=2),
+            checkpoint=CheckpointConfig(store=store, interval=1),
+        )
+        assert chaotic.executor == "process"  # recovered, did not degrade
+        assert chaotic.restarts >= 1  # the SIGKILL really was detected
+        assert store.latest_complete(4) == VERIFY_STEPS
+        assert np.array_equal(chaotic.u, fault_free.u)
+        solver = SPSolver(SHAPE)
+        solver.u = chaotic.u
+        assert verify("sp", solver.residual_norms(), solver.checksum())
+        # the supervisor reaped everything: no orphans, no leaked segments
+        for p in mp.active_children():
+            p.join(timeout=2.0)
+        assert mp.active_children() == []
+        assert procexec.leaked_segments() == []
