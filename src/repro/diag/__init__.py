@@ -58,6 +58,7 @@ E_UNSUPPORTED = "E-UNSUPPORTED"
 E_CONFIG = "E-CONFIG"
 W_BUDGET = "W-BUDGET"
 I_FALLBACK = "I-FALLBACK"
+I_NOTRACE = "I-NOTRACE"  # a requested trace is unavailable on this executor
 
 
 @dataclass(frozen=True)
@@ -281,5 +282,5 @@ __all__ = [
     "Severity", "SourceSpan", "CompileDiagnostic", "CompileError",
     "DiagnosticSink", "merge_into_report",
     "E_LEX", "E_PARSE", "E_NONAFFINE", "E_RECURSION", "E_UNSUPPORTED",
-    "E_CONFIG", "W_BUDGET", "I_FALLBACK",
+    "E_CONFIG", "W_BUDGET", "I_FALLBACK", "I_NOTRACE",
 ]

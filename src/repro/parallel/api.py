@@ -8,16 +8,18 @@ from typing import Any, Optional
 
 import numpy as np
 
-from ..diag import CompileDiagnostic, I_FALLBACK, Severity
+from ..diag import CompileDiagnostic, I_FALLBACK, I_NOTRACE, Severity
 from ..runtime import Trace, VirtualMachine
 from ..runtime.faults import FaultPlan
 from ..runtime.model import MachineModel, TEST_MACHINE
 from ..runtime.procexec import (
-    ExecutorError,
     ExecutorTimeout,
+    ExecutorUnavailable,
     ProcConfig,
     ProcessExecutor,
     ProcFault,
+    WorkerCrashed,
+    WorkerTimeout,
 )
 from ..runtime.reliable import ReliableConfig
 from .checkpoint import CheckpointConfig
@@ -96,11 +98,16 @@ def run_parallel(
     - ``"process"`` — the supervised real-process backend
       (:mod:`repro.runtime.procexec`): one forked OS process per rank,
       heartbeat monitoring, typed crash/hang detection, bounded
-      checkpoint-based restart.  If the backend is unavailable or
-      exhausts its restarts, the run **degrades to the virtual machine**
-      and records an ``I-FALLBACK`` diagnostic in
+      checkpoint-based restart.  If the backend is unavailable, crashes
+      past its restart budget, or freezes, the run **degrades to the
+      virtual machine** and records an ``I-FALLBACK`` diagnostic in
       ``RunResult.diagnostics`` (inspect ``RunResult.executor`` for what
-      actually ran).  The numerics are bitwise-identical either way.
+      actually ran); an exception raised *by the node program* is
+      deterministic and propagates directly — it is never re-run on the
+      virtual machine.  The numerics are bitwise-identical either way.
+      Event traces are a virtual-machine feature: with
+      ``record_trace=True`` the process path returns ``trace=None`` and
+      records an ``I-NOTRACE`` diagnostic.
 
     ``timeout`` is an overall wall-clock budget in host seconds covering
     both executors (typed :class:`~repro.runtime.procexec.ExecutorTimeout`
@@ -178,12 +185,26 @@ def run_parallel(
                 node, checkpoint=checkpoint, timeout=timeout, fault=proc_fault
             )
             restarts = ex.restarts
+            if record_trace:
+                # event traces are a virtual-machine feature; say so
+                # instead of silently handing back trace=None
+                diagnostics.append(CompileDiagnostic(
+                    Severity.INFO, I_NOTRACE,
+                    "record_trace=True is unavailable on the process "
+                    "executor; RunResult.trace is None (use "
+                    "executor='virtual' for event traces)",
+                    pass_name="procexec",
+                ))
         except ExecutorTimeout:
             raise  # an exhausted budget is final: no retry, no fallback
-        except ExecutorError as exc:
-            # unavailable, crashed past its restart budget, hung, or the
-            # node program itself failed: degrade to the deterministic
-            # virtual machine and say so with a structured diagnostic
+        except (ExecutorUnavailable, WorkerCrashed, WorkerTimeout) as exc:
+            # infrastructure failure — backend unavailable, crashed past
+            # its restart budget, or frozen: degrade to the deterministic
+            # virtual machine and say so with a structured diagnostic.
+            # A plain ExecutorError (the node program's own exception) is
+            # deterministic and propagates instead: re-running it on the
+            # virtual machine would only fail again, slower, while
+            # misattributing an application bug to executor degradation.
             diagnostics.append(CompileDiagnostic(
                 Severity.INFO, I_FALLBACK,
                 f"process executor degraded to the virtual machine after "

@@ -17,16 +17,20 @@ node programs on actual OS processes:
 
 Real workers fail in real ways — crashes, hangs, partial writes — so the
 backend is supervised from day one.  The parent-side monitor watches a
-shared-memory heartbeat slab (workers beat on every rank-API call; a
-worker stuck in an infinite compute or SIGSTOPped stops beating), each
-worker's exit code, and an overall wall-clock deadline.  Failures surface
-as typed errors carrying rank, phase, and the time since the last
-heartbeat:
+shared-memory heartbeat slab, each worker's exit code, and an overall
+wall-clock deadline.  Every worker beats from a tiny daemon thread (and
+additionally on every rank-API call), so a live worker keeps beating
+even through a long rank-API-free vectorized compute nest; a stale
+heartbeat therefore means a *frozen* process — SIGSTOPped, wedged in the
+kernel — while a runaway-but-live program is bounded by the overall
+``timeout=`` budget instead.  Failures surface as typed errors carrying
+rank, phase, and the time since the last heartbeat:
 
 - :class:`WorkerCrashed` — a worker died (signal or nonzero exit) without
   delivering its result, including the exited-cleanly-but-sent-nothing
   partial-write case;
-- :class:`WorkerTimeout` — a worker's heartbeat went stale;
+- :class:`WorkerTimeout` — a worker's heartbeat went stale (the process
+  is frozen, not merely busy);
 - :class:`ExecutorTimeout` — the whole run overran its ``timeout=`` budget
   (also raised by the virtual machine's wall-clock guard, so one typed
   error covers both executors);
@@ -58,6 +62,7 @@ import os
 import queue as _queue
 import signal
 import sys
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -119,7 +124,11 @@ class WorkerCrashed(ExecutorError):
 
 
 class WorkerTimeout(ExecutorError):
-    """A worker stopped heartbeating (hung compute, SIGSTOP, livelock)."""
+    """A worker stopped heartbeating.
+
+    Workers beat from a background thread, so this means the process is
+    *frozen* (SIGSTOP, kernel wedge) — a live worker stuck in a long
+    compute keeps beating and is bounded by ``timeout=`` instead."""
 
 
 class ExecutorTimeout(ExecutorError):
@@ -159,9 +168,10 @@ class ProcFault:
 class ProcConfig:
     """Supervision policy for one :class:`ProcessExecutor`.
 
-    ``heartbeat_timeout`` bounds how long a worker may go without any
-    rank-API activity (blocked receives *do* beat while polling, so only
-    genuinely hung or stopped workers trip it).  ``max_restarts`` bounds
+    ``heartbeat_timeout`` bounds how long a worker may go without beating.
+    Beats come from a per-worker daemon thread every
+    ``heartbeat_interval`` (plus every rank-API call), so only a frozen
+    process — not a long compute nest — trips it.  ``max_restarts`` bounds
     gang restarts after crashes/timeouts; each waits
     ``restart_backoff * 2**attempt`` seconds first.  ``exit_grace`` is how
     long a cleanly-exited worker's result may stay in flight before the
@@ -254,9 +264,15 @@ class ProcRank:
     def send(self, dst: int, data: Optional[np.ndarray] = None, tag: int = 0,
              nelems: int | None = None) -> None:
         """Non-blocking send (the queue's feeder thread absorbs the payload,
-        so a send can never deadlock against a peer's send)."""
+        so a send can never deadlock against a peer's send).
+
+        The payload is copied before it is enqueued — ``mp.Queue`` pickles
+        lazily in the feeder thread *after* ``put`` returns, so without
+        the copy a sender mutating its buffer after ``send`` (legal on the
+        virtual machine, which copies at sim.py's ``Rank.send``) would
+        race the feeder and could deliver corrupted bytes."""
         if data is not None:
-            payload: Any = np.ascontiguousarray(data)
+            payload: Any = np.ascontiguousarray(data).copy()
             nbytes = payload.nbytes
         else:
             if nelems is None:
@@ -326,6 +342,18 @@ def _worker_main(
     # of every child racing it to a half-flushed queue
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     try:
+        # liveness beats: a daemon thread stamps the slab every interval,
+        # so a worker deep in a rank-API-free compute nest never goes
+        # stale (SIGSTOP/kernel freezes stop this thread too, which is
+        # exactly what WorkerTimeout is meant to detect)
+        def _liveness_beats() -> None:
+            while True:
+                hb[rank_id] = time.monotonic()
+                time.sleep(hb_interval)
+
+        threading.Thread(
+            target=_liveness_beats, daemon=True, name="procexec-beater"
+        ).start()
         if checkpoint is not None:
             checkpoint.store._publish = (
                 lambda it, r, state: ctrl.put(("ckpt", it, r, state))
@@ -448,8 +476,21 @@ class ProcessExecutor:
         last_error: Optional[ExecutorError] = None
         for attempt in range(self.config.max_restarts + 1):
             if attempt:
+                backoff = self.config.restart_backoff * 2 ** (attempt - 1)
+                if deadline is not None \
+                        and time.monotonic() + backoff >= deadline:
+                    # the budget cannot survive the backoff: raise now
+                    # instead of sleeping into the deadline and launching
+                    # a doomed gang
+                    assert last_error is not None
+                    raise ExecutorTimeout(
+                        f"wall-clock budget exhausted before gang restart "
+                        f"{attempt}/{self.config.max_restarts} "
+                        f"(last failure: {last_error})",
+                        rank=last_error.rank, phase=last_error.phase,
+                    ) from last_error
                 self.restarts = attempt
-                time.sleep(self.config.restart_backoff * 2 ** (attempt - 1))
+                time.sleep(backoff)
                 if on_restart is not None:
                     on_restart()
             self._launch(node_fn, checkpoint)

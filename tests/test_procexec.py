@@ -10,13 +10,14 @@ every exit path (success, crash, timeout, Ctrl-C).
 
 import multiprocessing as mp
 import os
+import signal
 import time
 
 import numpy as np
 import pytest
 
 from repro.codegen import compile_kernel
-from repro.diag import I_FALLBACK
+from repro.diag import I_FALLBACK, I_NOTRACE
 from repro.nas import kernels
 from repro.parallel import CheckpointConfig, CheckpointStore, run_parallel
 from repro.runtime import VirtualMachine, procexec
@@ -81,6 +82,29 @@ class TestBitwiseAgainstVirtualMachine:
         out = ProcessExecutor(2).run(prog, timeout=60)
         assert out[1] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
 
+    def test_send_buffer_may_be_mutated_immediately(self):
+        """Copy-on-send, matching the virtual machine: mp.Queue pickles
+        lazily in a feeder thread after put() returns, so without the
+        copy a sender reusing its buffer races the feeder and can
+        deliver corrupted payloads."""
+
+        def prog(rank):
+            if rank.rank == 0:
+                buf = np.empty(256, dtype=np.float64)
+                for k in range(50):
+                    buf[:] = float(k)
+                    rank.send(1, buf, tag=3)  # buf is overwritten next loop
+                return None
+            out = []
+            for _ in range(50):
+                got = rank.recv(0, tag=3)
+                assert np.all(got == got[0])  # payload arrived untorn
+                out.append(float(got[0]))
+            return out
+
+        out = ProcessExecutor(2).run(prog, timeout=60)
+        assert out[1] == [float(k) for k in range(50)]
+
     def test_kernel_mpi_target_bitwise(self):
         ck = compile_kernel(kernels.LHSY_SP, nprocs=4, params={"n": 17})
         ref = ck.run(LHSY_SCALARS)
@@ -125,9 +149,13 @@ class TestTypedFailureDetection:
         assert ex.restarts == 1  # the restart budget was spent before raising
 
     def test_hung_worker_detected_by_stale_heartbeat(self):
+        """A *frozen* process (SIGSTOP here; a kernel wedge in life) stops
+        beating.  Live workers beat from a background thread, so only a
+        process that is no longer scheduled trips the watchdog."""
+
         def hanger(rank):
             if rank.rank == 0:
-                time.sleep(10)  # never touches the rank API: no beats
+                os.kill(os.getpid(), signal.SIGSTOP)  # frozen: no beats
             else:
                 rank.barrier()  # blocked but beating
 
@@ -137,6 +165,20 @@ class TestTypedFailureDetection:
             ProcessExecutor(2, config=cfg).run(hanger, timeout=60)
         assert ei.value.rank == 0
         assert ei.value.last_heartbeat >= 0.3
+
+    def test_long_compute_nest_is_not_a_false_hang(self):
+        """A worker that makes no rank-API calls for longer than
+        heartbeat_timeout (a long vectorized compute nest) still beats
+        from its background thread — no spurious WorkerTimeout."""
+
+        def cruncher(rank):
+            time.sleep(0.8)  # rank-API-silent for > heartbeat_timeout
+            return rank.rank
+
+        cfg = ProcConfig(heartbeat_interval=0.02, heartbeat_timeout=0.3,
+                         max_restarts=0)
+        assert ProcessExecutor(2, config=cfg).run(cruncher, timeout=60) \
+            == [0, 1]
 
     def test_blocked_recv_is_not_a_false_hang(self):
         """A rank legitimately waiting on a slow peer beats while polling —
@@ -204,6 +246,23 @@ class TestRestartRecovery:
         ex = ProcessExecutor(2, config=ProcConfig(**FAST))
         assert ex.run(crash_once, timeout=60) == [0, 10]
         assert ex.restarts == 1
+
+    def test_restart_respects_wall_clock_deadline(self):
+        """A restart whose backoff cannot fit in the remaining timeout=
+        budget raises ExecutorTimeout immediately instead of sleeping
+        past the deadline and launching a doomed gang."""
+
+        def crasher(rank):
+            os._exit(3)
+
+        cfg = ProcConfig(heartbeat_interval=0.02, max_restarts=3,
+                         restart_backoff=30.0)
+        ex = ProcessExecutor(2, config=cfg)
+        t0 = time.monotonic()
+        with pytest.raises(ExecutorTimeout, match="before gang restart"):
+            ex.run(crasher, timeout=5.0)
+        assert time.monotonic() - t0 < 5.0  # raised, not slept through
+        assert ex.restarts == 0  # the doomed restart never launched
 
     def test_sigkill_fault_resumes_from_parent_checkpoints(self, tmp_path):
         """The supervisor's checkpoint mirror: worker-side saves reach the
@@ -299,6 +358,29 @@ class TestRunParallelIntegration:
         assert any(d.code == I_FALLBACK for d in r.diagnostics)
         assert "WorkerCrashed" in r.diagnostics[0].message
         assert np.array_equal(base.u, r.u)  # numerics identical either way
+
+    def test_node_program_error_propagates_without_fallback(self, monkeypatch):
+        """A deterministic node-program exception is not an executor
+        degradation: it propagates directly, with no duplicate virtual-
+        machine run and no misattributed I-FALLBACK diagnostic."""
+
+        def app_error(self, node_fn, **kw):
+            raise ExecutorError("rank 1 raised ValueError: kaboom", rank=1)
+
+        monkeypatch.setattr(ProcessExecutor, "run", app_error)
+        with pytest.raises(ExecutorError, match="kaboom"):
+            run_parallel("sp", "dhpf", 4, self.SHAPE, 2, functional=True,
+                         record_trace=False, executor="process")
+
+    def test_record_trace_on_process_backend_is_diagnosed(self):
+        """record_trace=True is a virtual-machine feature; the process
+        path returns trace=None plus a typed I-NOTRACE diagnostic rather
+        than silently ignoring the request."""
+        r = run_parallel("sp", "dhpf", 4, self.SHAPE, 1, functional=False,
+                         record_trace=True, executor="process", timeout=300)
+        assert r.executor == "process"
+        assert r.trace is None
+        assert any(d.code == I_NOTRACE for d in r.diagnostics)
 
     def test_timeout_does_not_degrade(self, monkeypatch):
         def always_timeout(self, node_fn, **kw):
