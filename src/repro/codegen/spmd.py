@@ -16,11 +16,10 @@ from ..cp.privatizable import propagate_new_cps
 from ..cp.select import CPSelector, StatementCP
 from ..diag import E_UNSUPPORTED, W_BUDGET, DiagnosticSink
 from ..distrib.layout import DistributionContext, PDIM
-from ..frontend import parse_source
 from ..ir.expr import ArrayRef, Var
 from ..ir.interp import FortranArray, fortran_mod, fortran_nint, fortran_sign
 from ..ir.program import Program, Subroutine
-from ..ir.stmt import Assign, CallStmt, Continue, DoLoop, IfThen, Return, Stmt
+from ..ir.stmt import Assign, Continue, DoLoop, IfThen, Return, Stmt
 from ..ir.visit import collect_array_refs, walk_stmts
 from ..isets import BudgetExceeded, IsetBudget, iset_budget
 from ..runtime.sim import Rank, VirtualMachine
@@ -532,100 +531,34 @@ def compile_kernel(
     over the compiled kernel; errors raise
     :class:`repro.check.VerificationError` and the full report is attached
     to the kernel as ``verify_report`` either way.
+
+    Since PR 7 this is a thin wrapper over the staged pipeline in
+    :mod:`repro.compile.pipeline`.  String sources are routed through the
+    content-addressed plan cache (:mod:`repro.compile.cache`): a warm hit
+    deserializes the compiled kernel and replays its recorded diagnostics
+    into *sink* instead of re-running analysis, producing a
+    bitwise-identical kernel.  Passing an explicit *budget* bypasses cache
+    reads (the caller is observing analysis cost); ``Program``/
+    ``Subroutine`` inputs and in-flight failures are never cached.
     """
     if backend not in ("vector", "scalar"):
         raise ValueError(f"unknown codegen backend {backend!r}")
     if sink is None:
         sink = DiagnosticSink(strict=strict)
-    lenient = not sink.strict
-    if isinstance(source_or_sub, str):
-        prog = parse_source(source_or_sub, sink if lenient else None)
-        if lenient and sink.has_errors:
-            raise sink.as_error("source has syntax errors")
-        if len(prog.units) != 1:
-            if lenient:
-                sub = _flatten_program(prog, sink)
-            else:
-                raise CodegenUnsupported(
-                    "compile_kernel takes a single unit; interprocedural "
-                    "kernels are analyzed by repro.cp.interproc"
-                )
-        else:
-            sub = next(iter(prog.units.values()))
-    elif isinstance(source_or_sub, Program):
-        prog = source_or_sub
-        if len(prog.units) != 1 and lenient:
-            sub = _flatten_program(prog, sink)
-        elif len(prog.units) == 1:
-            sub = next(iter(prog.units.values()))
-        else:
-            raise CodegenUnsupported(
-                "compile_kernel takes a single unit; interprocedural "
-                "kernels are analyzed by repro.cp.interproc"
-            )
-    else:
-        sub = source_or_sub
     params = dict(params or {})
 
-    for s in walk_stmts(sub.body):
-        if isinstance(s, CallStmt):
-            if lenient:
-                sink.error(
-                    f"CALL {s.name} cannot be resolved to a defined unit",
-                    code=E_UNSUPPORTED,
-                    pass_name="codegen",
-                )
-                raise sink.as_error()
-            raise CodegenUnsupported("CALL statements are not code-generated")
+    from ..compile.cache import active_cache
+    from ..compile.pipeline import build_kernel, cached_compile
 
-    if not lenient:
-        try:
-            ctx = DistributionContext(sub, nprocs, params)
-            merged = {**sub.symbols.parameter_values(), **params}
-            if budget is not None:
-                with iset_budget(budget):
-                    cps_all, nest_plans, private_arrays, localized_arrays = (
-                        analyze_program(sub, ctx, merged)
-                    )
-            else:
-                cps_all, nest_plans, private_arrays, localized_arrays = (
-                    analyze_program(sub, ctx, merged)
-                )
-            for _, plan in nest_plans:
-                for ev in plan.live_events():
-                    if ev.placement.pipelined:
-                        raise CodegenUnsupported(
-                            f"pipelined communication for array {ev.array!r} "
-                            "(wavefront kernels are executed by repro.parallel.dhpf)"
-                        )
-            kernel = CompiledKernel(
-                sub, ctx, merged, cps_all, nest_plans, nprocs, private_arrays,
-                localized_arrays, backend=backend, sink=sink,
-            )
-        except KeyError as exc:
-            # iset enumeration over symbols with no compile-time value (e.g.
-            # runtime-scalar loop bounds) surfaces as KeyError deep in the
-            # point enumerator; strict mode promises typed errors only
-            raise CodegenUnsupported(
-                f"analysis requires compile-time values: {exc}"
-            ) from exc
+    cache = active_cache() if isinstance(source_or_sub, str) else None
+    if cache is not None:
+        kernel = cached_compile(
+            source_or_sub, nprocs, params, backend, sink, budget, cache
+        )
     else:
-        if budget is None:
-            budget = IsetBudget()
-        try:
-            kernel = _build_lenient(sub, nprocs, params, backend, sink, budget)
-        except Exception as exc:
-            sink.fallback(
-                "whole-program replicated fallback: "
-                f"{type(exc).__name__}: {exc}",
-                pass_name="driver",
-            )
-            stripped = _strip_directives(sub)
-            with budget.suspend():
-                kernel = _build_lenient(
-                    stripped, nprocs, params, backend, sink, budget
-                )
-    kernel.budget = budget
+        kernel = build_kernel(
+            source_or_sub, nprocs, params, backend, sink, budget
+        )
     if verify:
         from ..check import VerificationError, verify_kernel
 
@@ -852,6 +785,18 @@ class CompiledKernel:
         self._guard_cache: dict[int, Guards] = {}
         self._sources: dict[str, str] = {}
         self._fns: dict[str, Callable] = {}
+
+    # -- pickling (plan-cache artifacts) ------------------------------------------
+    def __getstate__(self):
+        # exec'd node-program functions don't pickle; they rebuild on
+        # demand from _sources, which round-trips verbatim — so a warm
+        # kernel emits bitwise-identical node programs
+        state = self.__dict__.copy()
+        state["_fns"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     @property
     def diagnostics(self) -> list:

@@ -1,0 +1,61 @@
+"""Compilation-as-a-service: staged pipeline, plan cache, batch driver.
+
+- :mod:`repro.compile.key` — content-addressed :class:`PlanKey` over
+  (canonical source, params, nprocs, backend, strictness, compiler
+  fingerprint), with staged parse/analysis/kernel digests.
+- :mod:`repro.compile.cache` — two-tier :class:`PlanCache` (in-process
+  LRU over a self-validating on-disk store).
+- :mod:`repro.compile.pipeline` — the explicit parse → analyze → codegen
+  stages behind :func:`repro.codegen.compile_kernel`, with serializable
+  per-stage artifacts and warm-hit diagnostic replay.
+- :mod:`repro.compile.driver` — :func:`compile_many`, a supervised
+  multi-process batch compiler with per-job timeouts.
+- :mod:`repro.compile.service` — :class:`CompileService`
+  (submit/poll/collect), the ``python -m repro.eval serve`` front door.
+"""
+
+from .cache import (
+    PlanCache,
+    PlanCacheConfig,
+    PlanCacheStats,
+    active_cache,
+    cache_disabled,
+    default_cache_dir,
+    plan_cache_stats,
+    set_active_cache,
+    use_cache,
+)
+from .key import PlanKey, canonicalize_source, compiler_fingerprint
+
+__all__ = [
+    "PlanCache",
+    "PlanCacheConfig",
+    "PlanCacheStats",
+    "PlanKey",
+    "active_cache",
+    "cache_disabled",
+    "canonicalize_source",
+    "compiler_fingerprint",
+    "default_cache_dir",
+    "plan_cache_stats",
+    "set_active_cache",
+    "use_cache",
+    # driver/service are imported lazily to keep `import repro.compile`
+    # light; see repro.compile.driver / repro.compile.service
+    "compile_many",
+    "CompileJob",
+    "CompileOutcome",
+    "CompileService",
+]
+
+
+def __getattr__(name):
+    if name in ("compile_many", "CompileJob", "CompileOutcome"):
+        from . import driver
+
+        return getattr(driver, name)
+    if name == "CompileService":
+        from .service import CompileService
+
+        return CompileService
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

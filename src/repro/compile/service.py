@@ -1,0 +1,198 @@
+"""The compilation-service front door: submit / poll / collect.
+
+:class:`CompileService` wraps :func:`repro.compile.driver.compile_many`
+in a long-lived submit/poll/collect surface — the programmatic shape of
+"millions of users submitting kernels":
+
+    svc = CompileService(workers=4)
+    ticket = svc.submit(source, nprocs=4, params={"n": 64})
+    ...
+    if svc.poll(ticket).done:
+        kernel = svc.collect(ticket).kernel
+    svc.shutdown()
+
+Tickets are plan keys: submitting the same source/params/nprocs/backend
+twice returns the same ticket, and a ticket stays collectable for the
+service's lifetime (results live in the plan cache, so even a fresh
+service resolves a previously-compiled ticket warm).  A background
+scheduler thread batches pending submissions through ``compile_many``,
+so distinct kernels compile concurrently and a poisoned submission
+fails only its own ticket.
+
+``python -m repro.eval serve`` is the CLI face of this class: it reads
+job specs from a JSON file, compiles them through a service, and writes
+one status/result line per job.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from .cache import PlanCache, active_cache
+from .driver import CompileJob, CompileOutcome, compile_many
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..codegen.spmd import CompiledKernel
+
+
+@dataclass
+class Ticket:
+    """Handle for one submission: the job, its plan digest, and state
+    (``pending`` → ``running`` → ``done`` | ``failed``)."""
+
+    digest: str
+    job: CompileJob
+    state: str = "pending"
+
+    @property
+    def done(self) -> bool:
+        """True once the submission reached a terminal state."""
+        return self.state in ("done", "failed")
+
+
+class ServiceClosed(RuntimeError):
+    """The service was shut down; no further submissions are accepted."""
+
+
+class CompileService:
+    """Submit sources for compilation; poll and collect kernels.
+
+    Thread-safe.  ``workers`` bounds concurrent compile processes,
+    ``timeout`` is the default per-job deadline, and ``cache`` defaults
+    to the active plan cache (results persist across service instances
+    through it).
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        timeout: Optional[float] = None,
+        cache: Optional[PlanCache] = None,
+    ):
+        self._workers = workers
+        self._timeout = timeout
+        self._cache = cache if cache is not None else active_cache()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._tickets: dict[str, Ticket] = {}
+        self._outcomes: dict[str, CompileOutcome] = {}
+        self._pending: list[str] = []
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._scheduler, daemon=True, name="compile-service"
+        )
+        self._thread.start()
+
+    # -- client surface ----------------------------------------------------
+    def submit(
+        self,
+        source: str,
+        nprocs: int,
+        params: Mapping[str, int] | None = None,
+        backend: str = "vector",
+        strict: bool = True,
+        label: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Ticket:
+        """Enqueue one compilation; returns its :class:`Ticket`.
+
+        Identical submissions (same plan key) coalesce onto one ticket.
+        """
+        job = CompileJob(
+            source=source, nprocs=nprocs, params=dict(params or {}),
+            backend=backend, strict=strict, label=label, timeout=timeout,
+        )
+        digest = job.key().kernel_digest
+        with self._wake:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            ticket = self._tickets.get(digest)
+            if ticket is None or (
+                ticket.state == "failed" and digest not in self._pending
+            ):
+                ticket = Ticket(digest=digest, job=job)
+                self._tickets[digest] = ticket
+                self._pending.append(digest)
+                self._wake.notify()
+            return ticket
+
+    def poll(self, ticket: Ticket) -> Ticket:
+        """Refresh and return the ticket (``ticket.done`` when terminal)."""
+        with self._lock:
+            return self._tickets.get(ticket.digest, ticket)
+
+    def collect(
+        self, ticket: Ticket, timeout: Optional[float] = None
+    ) -> CompileOutcome:
+        """Block until the ticket resolves and return its outcome.
+
+        Raises ``TimeoutError`` if *timeout* seconds pass first; a failed
+        compilation returns normally with ``outcome.error`` set.
+        """
+        with self._wake:
+            if not self._wake.wait_for(
+                lambda: ticket.digest in self._outcomes, timeout=timeout
+            ):
+                raise TimeoutError(
+                    f"ticket {ticket.digest[:12]} still "
+                    f"{self._tickets[ticket.digest].state} "
+                    f"after {timeout}s"
+                )
+            return self._outcomes[ticket.digest]
+
+    def compile(self, *args, **kw) -> "CompiledKernel":
+        """Synchronous convenience: submit + collect; raises the typed
+        error on failure."""
+        out = self.collect(self.submit(*args, **kw))
+        if out.error is not None:
+            raise out.error
+        assert out.kernel is not None
+        return out.kernel
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting submissions and stop the scheduler.  With
+        ``wait`` (default) the in-flight batch finishes first."""
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+        if wait:
+            self._thread.join(timeout=300.0)
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- scheduler ---------------------------------------------------------
+    def _scheduler(self) -> None:
+        while True:
+            with self._wake:
+                self._wake.wait_for(lambda: self._pending or self._closed)
+                if not self._pending:
+                    if self._closed:
+                        return
+                    continue  # pragma: no cover - spurious wakeup
+                batch = self._pending
+                self._pending = []
+                for digest in batch:
+                    self._tickets[digest].state = "running"
+                jobs = [self._tickets[d].job for d in batch]
+            outs = compile_many(
+                jobs, workers=self._workers, timeout=self._timeout,
+                cache=self._cache,
+            )
+            with self._wake:
+                for digest, out in zip(batch, outs):
+                    self._outcomes[digest] = out
+                    self._tickets[digest].state = (
+                        "done" if out.ok else "failed"
+                    )
+                self._wake.notify_all()
+                if self._closed and not self._pending:
+                    return
+
+
+__all__ = ["CompileService", "ServiceClosed", "Ticket"]

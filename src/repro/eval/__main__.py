@@ -31,7 +31,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=["table-8.1", "table-8.2", "figure-8.1", "figure-8.2",
                  "figure-8.3", "figure-8.4", "diffstats", "ablations", "phases",
-                 "chaos", "check", "bench", "fuzz", "proc"],
+                 "chaos", "check", "bench", "fuzz", "proc", "serve"],
     )
     ap.add_argument("--classes", default="A,B", help="comma list of NAS classes")
     ap.add_argument("--procs", default="4,9,16,25", help="comma list of processor counts")
@@ -89,6 +89,21 @@ def main(argv: list[str] | None = None) -> int:
                          "class-S kernel, vector backend)")
     ap.add_argument("--skip-scalar", action="store_true",
                     help="proc: verify the vector backend only")
+    cache_group = ap.add_mutually_exclusive_group()
+    cache_group.add_argument("--cold", action="store_true",
+                             help="bench: time compiles as plan-cache misses "
+                                  "against a fresh hermetic cache")
+    cache_group.add_argument("--warm", action="store_true",
+                             help="bench: time compiles as plan-cache hits "
+                                  "(an untimed populate pass runs first)")
+    ap.add_argument("--jobs", default=None, metavar="FILE",
+                    help="serve: JSON file with compile jobs (a list of "
+                         "{source|kernel, nprocs, params, backend, strict, "
+                         "label} objects)")
+    ap.add_argument("--serve-out", default=None, metavar="FILE",
+                    help="serve: write per-job results as JSON to FILE")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="serve: concurrent compile worker processes")
     args = ap.parse_args(argv)
 
     classes = tuple(args.classes.split(","))
@@ -203,19 +218,41 @@ def main(argv: list[str] | None = None) -> int:
         # per-compilation resource budget
         from ..isets import IsetBudget
 
+        import tempfile
+
+        from ..compile import PlanCache, PlanCacheConfig, use_cache
+
         reset_caches()
-        budgets: list[tuple[str, IsetBudget]] = []
-        for name, src, np_, params in (
+        compiles = (
             ("lhsy", kernels.LHSY_SP, 4, {"n": 17}),
             ("compute_rhs", kernels.COMPUTE_RHS_BT, 8, {"n": 13}),
             ("exact_rhs", kernels.EXACT_RHS_SP, 4, {"n": 17}),
-        ):
-            budget = IsetBudget()
-            budgets.append((name, budget))
-            try:
-                compile_kernel(src, nprocs=np_, params=params, budget=budget)
-            except CodegenUnsupported:
-                pass
+        )
+        budgets: list[tuple[str, IsetBudget]] = []
+        plan_cache = PlanCache(PlanCacheConfig(
+            directory=tempfile.mkdtemp(prefix="repro-diffstats-plans-")
+        ))
+        with use_cache(plan_cache):
+            for name, src, np_, params in compiles:
+                budget = IsetBudget()
+                budgets.append((name, budget))
+                try:
+                    compile_kernel(src, nprocs=np_, params=params, budget=budget)
+                except CodegenUnsupported:
+                    pass
+            # the budgeted compiles above bypass the cache (an explicit
+            # budget is observing analysis cost), so run one cold
+            # populate pass, then two warm passes: once against the
+            # in-process LRU, once (LRU dropped) against the
+            # self-validating disk tier
+            for _pass in range(3):
+                if _pass == 2:
+                    plan_cache.clear_lru()
+                for name, src, np_, params in compiles:
+                    try:
+                        compile_kernel(src, nprocs=np_, params=params)
+                    except CodegenUnsupported:
+                        pass
         c = cache_stats().as_dict()
         print("\niset operation caches (over the three compiles above):")
         print(
@@ -235,6 +272,21 @@ def main(argv: list[str] | None = None) -> int:
                 f"peak disjuncts {b['budget_peak_disjuncts']:3d} / "
                 f"{b['budget_max_disjuncts']}, tripped: {tripped}"
             )
+        p = plan_cache.as_dict()
+        print("\nplan cache (hermetic; cold populate + LRU and disk warm passes):")
+        print(
+            f"  hits:      {p['hits']} ({p['lru_hits']} lru tier / "
+            f"{p['disk_hits']} disk tier)"
+        )
+        print(f"  misses:    {p['misses']}   puts: {p['puts']}")
+        print(
+            f"  evictions: {p['lru_evictions']} lru / {p['disk_evictions']} disk / "
+            f"{p['corrupt_evictions']} corrupt   io errors: {p['io_errors']}"
+        )
+        print(
+            f"  on disk:   {p['disk_entries']} entries, "
+            f"{p['bytes_on_disk']} bytes"
+        )
     elif args.target == "fuzz":
         from .fuzz import run_fuzz
 
@@ -259,6 +311,70 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(format_proc(report))
         return 0 if report.ok else 1
+    elif args.target == "serve":
+        import json
+
+        from ..compile.driver import CompileJob, compile_many
+        from ..nas import kernels as nas_kernels
+        from .bench import atomic_write_text
+
+        if not args.jobs:
+            print("serve needs --jobs FILE (a JSON list of job objects; "
+                  "each has source or kernel, plus nprocs/params/backend/"
+                  "strict/label)")
+            return 2
+        with open(args.jobs) as fh:
+            specs = json.load(fh)
+        jobs = []
+        for i, spec in enumerate(specs):
+            source = spec.get("source")
+            if source is None:
+                kname = spec.get("kernel")
+                source = getattr(nas_kernels, kname, None)
+                if source is None:
+                    print(f"job {i}: no source and unknown kernel {kname!r}")
+                    return 2
+            jobs.append(CompileJob(
+                source=source,
+                nprocs=int(spec.get("nprocs", 4)),
+                params=spec.get("params") or {},
+                backend=spec.get("backend", "vector"),
+                strict=bool(spec.get("strict", True)),
+                label=spec.get("label") or spec.get("kernel") or f"job-{i}",
+                timeout=spec.get("timeout"),
+            ))
+
+        def _report(out):
+            status = "ok" if out.ok else f"FAILED ({type(out.error).__name__})"
+            how = "cache" if out.cached else "compiled"
+            print(f"  [serve] {out.job.describe()}: {status} "
+                  f"[{how}, {out.elapsed:.2f}s]", flush=True)
+
+        outcomes = compile_many(
+            jobs, workers=args.workers, timeout=args.timeout,
+            progress=_report,
+        )
+        rows = []
+        for out in outcomes:
+            rows.append({
+                "label": out.job.describe(),
+                "ok": out.ok,
+                "cached": out.cached,
+                "shared": out.shared,
+                "elapsed_s": round(out.elapsed, 3),
+                "error": None if out.error is None else {
+                    "type": type(out.error).__name__,
+                    "message": str(out.error),
+                },
+                "diagnostics": len(out.sink.diagnostics),
+            })
+        if args.serve_out:
+            atomic_write_text(
+                args.serve_out,
+                json.dumps({"jobs": rows}, indent=2, sort_keys=True) + "\n",
+            )
+            print(f"wrote {args.serve_out}")
+        return 0 if all(out.ok for out in outcomes) else 1
     elif args.target == "bench":
         from .bench import check_guards, run_bench, write_json
 
@@ -268,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
             skip_dhpf=args.skip_dhpf,
             skip_class_w=args.skip_class_w,
             progress=lambda msg: print(f"  [bench] {msg}", flush=True),
+            cache_mode="cold" if args.cold else "warm" if args.warm else "off",
         )
         print(report.format())
         if args.bench_out:

@@ -24,6 +24,8 @@ falls below X.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -33,6 +35,9 @@ import numpy as np
 #: class S is the 12^3 NAS problem size; class W is 36^3
 CLASS_S = 12
 CLASS_W = 36
+
+#: bumped whenever the BENCH_*.json layout changes shape
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -48,6 +53,9 @@ class KernelResult:
     identical: bool
     vector_loops: int
     total_loops: int
+    #: plan-cache view of this row's compiles: {"mode": off|cold|warm,
+    #: plus hit/miss/put deltas when a cache was in play}
+    cache: dict | None = None
 
     @property
     def speedup(self) -> float:
@@ -65,6 +73,7 @@ class KernelResult:
             "identical": self.identical,
             "vector_loops": self.vector_loops,
             "total_loops": self.total_loops,
+            "cache": self.cache,
         }
 
 
@@ -152,8 +161,13 @@ def _seed_init(ck, seed_bias: dict | None = None) -> Callable:
     return init
 
 
-def _run_backend(spec: KernelSpec, backend: str, repeat: int):
-    """Compile + run one backend; returns (compile_s, best_run_s, results, ck)."""
+def _run_backend(spec: KernelSpec, backend: str, repeat: int, warm: bool = False):
+    """Compile + run one backend; returns (compile_s, best_run_s, results, ck).
+
+    With ``warm`` an untimed compile runs first so the timed one measures
+    the plan cache's warm path."""
+    if warm:
+        spec.compile(backend)
     t0 = time.perf_counter()
     ck = spec.compile(backend)
     compile_s = time.perf_counter() - t0
@@ -175,13 +189,29 @@ def _bitwise_identical(res_a, res_b) -> bool:
     return True
 
 
-def bench_kernel(spec: KernelSpec, repeat: int = 1) -> KernelResult:
+def bench_kernel(
+    spec: KernelSpec,
+    repeat: int = 1,
+    cache_mode: str = "off",
+    plan_cache=None,
+) -> KernelResult:
     """Measure one kernel under both backends (best of *repeat* runs) and
-    check the bitwise-identical-arrays contract."""
-    cs, ts, res_s, _ = _run_backend(spec, "scalar", repeat)
-    cv, tv, res_v, ck = _run_backend(spec, "vector", repeat)
+    check the bitwise-identical-arrays contract.
+
+    ``cache_mode='warm'`` times the plan cache's warm path (an untimed
+    populate compile precedes each timed one); ``'cold'`` times misses
+    against an empty hermetic cache; ``'off'`` (default) bypasses the
+    cache entirely.  ``plan_cache`` supplies the row's hit/miss deltas.
+    """
+    warm = cache_mode == "warm"
+    before = plan_cache.stats.snapshot() if plan_cache is not None else None
+    cs, ts, res_s, _ = _run_backend(spec, "scalar", repeat, warm=warm)
+    cv, tv, res_v, ck = _run_backend(spec, "vector", repeat, warm=warm)
     reports = list(ck.vector_report.values())
     nvec = sum(1 for r in reports if r.status == "vector")
+    cache_info: dict | None = {"mode": cache_mode}
+    if plan_cache is not None:
+        cache_info.update(plan_cache.stats.delta(before))
     return KernelResult(
         name=spec.name,
         nprocs=spec.nprocs,
@@ -192,6 +222,7 @@ def bench_kernel(spec: KernelSpec, repeat: int = 1) -> KernelResult:
         identical=_bitwise_identical(res_s, res_v),
         vector_loops=nvec,
         total_loops=len(reports),
+        cache=cache_info,
     )
 
 
@@ -226,7 +257,7 @@ def bench_dhpf_class_s() -> list[dict]:
     return out
 
 
-def bench_class_w_smoke(repeat: int = 1) -> dict:
+def bench_class_w_smoke(repeat: int = 1, cache_mode: str = "off") -> dict:
     """Class-W (36^3) vector-only run of the heaviest compiled kernel.
 
     The scalar backend needs tens of minutes at this size; the vector
@@ -240,7 +271,9 @@ def bench_class_w_smoke(repeat: int = 1) -> dict:
         "bt compute_rhs class W", 8, {"n": CLASS_W, "nx": CLASS_W},
         {"n": CLASS_W, "c1": 0.3, "c2": 0.2}, source=kernels.COMPUTE_RHS_BT,
     )
-    compile_s, run_s, _, ck = _run_backend(spec, "vector", repeat)
+    compile_s, run_s, _, ck = _run_backend(
+        spec, "vector", repeat, warm=cache_mode == "warm"
+    )
     reports = list(ck.vector_report.values())
     return {
         "name": spec.name,
@@ -250,6 +283,7 @@ def bench_class_w_smoke(repeat: int = 1) -> dict:
         "run_s": round(run_s, 3),
         "vector_loops": sum(1 for r in reports if r.status == "vector"),
         "total_loops": len(reports),
+        "cache": {"mode": cache_mode},
     }
 
 
@@ -259,13 +293,18 @@ class BenchReport:
     dhpf: list[dict] = field(default_factory=list)
     class_w: dict | None = None
     iset_cache: dict | None = None
+    cache_mode: str = "off"
+    plan_cache: dict | None = None
 
     def as_dict(self) -> dict:
         return {
+            "schema_version": SCHEMA_VERSION,
             "kernels": [k.as_dict() for k in self.kernels],
             "dhpf_class_s": self.dhpf,
             "class_w_smoke": self.class_w,
             "iset_cache": self.iset_cache,
+            "cache_mode": self.cache_mode,
+            "plan_cache": self.plan_cache,
         }
 
     def format(self) -> str:
@@ -307,6 +346,15 @@ class BenchReport:
                 f"emptiness {c['empty_hits']}/{c['empty_hits'] + c['empty_misses']} "
                 f"hits ({c['empty_hit_rate']:.1%})"
             )
+        if self.plan_cache:
+            p = self.plan_cache
+            lines.append("")
+            lines.append(
+                f"plan cache ({self.cache_mode}): "
+                f"{p['hits']} hits ({p['lru_hits']} lru / {p['disk_hits']} disk), "
+                f"{p['misses']} misses, {p['puts']} puts, "
+                f"{p['disk_entries']} entries / {p['bytes_on_disk']} bytes on disk"
+            )
         return "\n".join(lines)
 
 
@@ -316,27 +364,54 @@ def run_bench(
     skip_dhpf: bool = False,
     skip_class_w: bool = False,
     progress: Callable[[str], None] | None = None,
+    cache_mode: str = "off",
 ) -> BenchReport:
-    """Run the benchmark suite; *only* filters kernels by substring."""
+    """Run the benchmark suite; *only* filters kernels by substring.
+
+    ``cache_mode`` selects how compile times interact with the plan
+    cache: ``'off'`` (default) disables it, ``'cold'`` measures misses
+    against a fresh hermetic cache, ``'warm'`` measures hits after an
+    untimed populate pass.  Cold and warm runs use a temporary cache
+    directory, never the user's ``~/.cache/repro-plans``.
+    """
+    from ..compile import PlanCache, PlanCacheConfig, cache_disabled, use_cache
     from ..isets import cache_stats, reset_caches
 
+    if cache_mode not in ("off", "cold", "warm"):
+        raise ValueError(f"unknown cache mode {cache_mode!r}")
     reset_caches()
-    report = BenchReport()
-    for spec in kernel_specs():
-        if only and only not in spec.name:
-            continue
-        if progress:
-            progress(f"benchmarking {spec.name} ...")
-        report.kernels.append(bench_kernel(spec, repeat=repeat))
-    if not skip_dhpf and not only:
-        if progress:
-            progress("running functional dHPF class-S (sp, bt) ...")
-        report.dhpf = bench_dhpf_class_s()
-    if not skip_class_w and not only:
-        if progress:
-            progress("class-W vector smoke ...")
-        report.class_w = bench_class_w_smoke(repeat=1)
+    report = BenchReport(cache_mode=cache_mode)
+    if cache_mode == "off":
+        plan_cache = None
+        cache_ctx = cache_disabled()
+    else:
+        plan_cache = PlanCache(PlanCacheConfig(
+            directory=tempfile.mkdtemp(prefix="repro-bench-plans-")
+        ))
+        cache_ctx = use_cache(plan_cache)
+    with cache_ctx:
+        for spec in kernel_specs():
+            if only and only not in spec.name:
+                continue
+            if progress:
+                progress(f"benchmarking {spec.name} ({cache_mode}) ...")
+            report.kernels.append(bench_kernel(
+                spec, repeat=repeat, cache_mode=cache_mode,
+                plan_cache=plan_cache,
+            ))
+        if not skip_dhpf and not only:
+            if progress:
+                progress("running functional dHPF class-S (sp, bt) ...")
+            report.dhpf = bench_dhpf_class_s()
+        if not skip_class_w and not only:
+            if progress:
+                progress("class-W vector smoke ...")
+            report.class_w = bench_class_w_smoke(
+                repeat=1, cache_mode=cache_mode
+            )
     report.iset_cache = cache_stats().as_dict()
+    if plan_cache is not None:
+        report.plan_cache = plan_cache.as_dict()
     return report
 
 
@@ -358,7 +433,27 @@ def check_guards(report: BenchReport, min_speedup: float) -> list[str]:
 
 
 def write_json(report: BenchReport, path: str) -> None:
-    """Persist a bench report (``--bench-out``)."""
-    with open(path, "w") as fh:
-        json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    """Persist a bench report (``--bench-out``) atomically.
+
+    The payload lands in a temp file first and ``os.replace`` publishes
+    it, so a crashed or interrupted bench run can never leave a torn
+    JSON behind; ``schema_version`` stamps the layout for consumers.
+    """
+    payload = json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+    atomic_write_text(path, payload)
+
+
+def atomic_write_text(path: str, payload: str) -> None:
+    """Write *payload* to *path* via temp file + ``os.replace``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

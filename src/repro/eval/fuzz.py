@@ -530,8 +530,24 @@ def run_fuzz(
 
     ``process=True`` adds the supervised real-process executor to the
     backend matrix: every well-formed program also runs on forked OS
-    workers (both targets) and must match the serial reference bitwise."""
+    workers (both targets) and must match the serial reference bitwise.
+
+    Runs with the plan cache disabled: fuzz sources are throwaway
+    one-offs, and churning the user's on-disk store with thousands of
+    never-again-seen plans would evict entries that matter."""
+    from ..compile import cache_disabled
+
     result = FuzzResult()
+    with cache_disabled():
+        return _run_fuzz_inner(
+            seeds, start_seed, malformed_every, progress, do_shrink,
+            process, result,
+        )
+
+
+def _run_fuzz_inner(
+    seeds, start_seed, malformed_every, progress, do_shrink, process, result
+) -> FuzzResult:
     for seed in range(start_seed, start_seed + seeds):
         result.seeds += 1
         spec = gen_spec(seed)

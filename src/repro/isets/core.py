@@ -248,6 +248,12 @@ class Constraint:
         # table); nothing to do here
         pass
 
+    def __reduce__(self):
+        # route unpickling through __new__ so deserialized constraints
+        # re-enter the intern table (plan-cache loads stay hash-consed);
+        # _normalize is idempotent on an already-normalized expr
+        return (Constraint, (self.expr, self.is_eq))
+
     # -- constructors --------------------------------------------------
     @staticmethod
     def eq(lhs: LinExpr | int | str, rhs: LinExpr | int | str = 0) -> "Constraint":

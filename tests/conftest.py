@@ -1,0 +1,23 @@
+"""Shared fixtures for the tier-1 suite.
+
+The plan cache is redirected to a per-session temporary directory so
+tests never read or write the developer's real ``~/.cache/repro-plans``:
+a stale entry there must not change test behavior, and a test run must
+not pollute it.  Within the session, warm sharing is intentional — it
+both speeds the suite up and exercises the cache-hit path broadly.
+Tests that need full isolation (e.g. the plan-cache suite itself) build
+their own ``PlanCache`` over ``tmp_path`` via ``use_cache``.
+"""
+
+import tempfile
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_plan_cache():
+    with tempfile.TemporaryDirectory(prefix="repro-test-plans-") as d:
+        from repro.compile import PlanCache, PlanCacheConfig, use_cache
+
+        with use_cache(PlanCache(PlanCacheConfig(directory=d))):
+            yield

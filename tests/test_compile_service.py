@@ -1,0 +1,212 @@
+"""Concurrent compile driver and compile service.
+
+``compile_many`` must compile distinct kernels in parallel worker
+processes, dedupe jobs that share a plan key, honor per-job timeouts,
+and convert worker crashes into typed per-job errors without killing
+the rest of the batch.  ``CompileService`` layers ticket-based
+coalescing on top.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.compile import PlanCache, PlanCacheConfig, use_cache
+from repro.compile.driver import (
+    CompileFailed,
+    CompileJob,
+    WorkerCrashed,
+    WorkerTimeout,
+    compile_many,
+)
+
+TEMPLATE = """
+      subroutine k(n)
+      integer n, i
+      parameter (nx = 15)
+      double precision a(0:nx), b(0:nx)
+chpf$ processors procs(4)
+chpf$ template t(0:nx)
+chpf$ align a(i) with t(i)
+chpf$ align b(i) with t(i)
+chpf$ distribute t(block) onto procs
+      do i = 1, n - 1
+         a(i) = b(i-1) + {const}
+      enddo
+      end
+"""
+
+
+def _jobs(n):
+    """n distinct small jobs (distinct constants -> distinct plan keys)."""
+    return [
+        CompileJob(TEMPLATE.format(const=f"{i}.0"), 4, {"n": 8},
+                   label=f"k{i}")
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def cache(tmp_path):
+    c = PlanCache(PlanCacheConfig(directory=str(tmp_path / "plans")))
+    with use_cache(c):
+        yield c
+
+
+class TestCompileMany:
+    def test_four_distinct_kernels(self, cache):
+        jobs = _jobs(4)
+        seen = []
+        outcomes = compile_many(
+            jobs, workers=4, cache=cache,
+            progress=lambda o: seen.append(o.job.label),
+        )
+        assert len(outcomes) == 4
+        assert all(o.ok for o in outcomes)
+        assert sorted(seen) == ["k0", "k1", "k2", "k3"]
+        # outcomes come back in job order regardless of completion order
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+        sources = {o.kernel.python_source("mpi") for o in outcomes}
+        assert len(sources) == 4  # genuinely distinct kernels
+
+    def test_duplicate_jobs_compile_once(self, cache):
+        jobs = _jobs(2) + _jobs(2)  # indices 2,3 duplicate 0,1
+        outcomes = compile_many(jobs, workers=4, cache=cache)
+        assert all(o.ok for o in outcomes)
+        assert outcomes[0].kernel.python_source("mpi") == \
+            outcomes[2].kernel.python_source("mpi")
+        assert sum(1 for o in outcomes if o.shared) >= 2
+        # deduped results are still independent objects
+        assert outcomes[0].kernel is not outcomes[2].kernel
+
+    def test_warm_batch_uses_no_workers(self, cache):
+        jobs = _jobs(3)
+        compile_many(jobs, workers=3, cache=cache)
+        before = cache.stats.snapshot()
+        outcomes = compile_many(jobs, workers=3, cache=cache)
+        assert all(o.ok and o.cached for o in outcomes)
+        assert cache.stats.delta(before)["hits"] >= 3
+
+    def test_deterministic_failure_is_typed_and_isolated(self, cache):
+        jobs = _jobs(2)
+        bad = CompileJob(
+            TEMPLATE.format(const="1.0").replace(
+                "a(i) = b(i-1)", "goto 10"
+            ),
+            4, {"n": 8}, label="bad",
+        )
+        outcomes = compile_many(jobs + [bad], workers=3, cache=cache)
+        assert outcomes[0].ok and outcomes[1].ok
+        assert not outcomes[2].ok
+        assert isinstance(outcomes[2].error, CompileFailed)
+        assert "GOTO" in str(outcomes[2].error)
+        assert outcomes[2].error.worker_traceback  # carries the remote trace
+
+    def test_failures_are_not_cached(self, cache):
+        bad = CompileJob(
+            TEMPLATE.format(const="1.0").replace(
+                "a(i) = b(i-1)", "goto 10"
+            ),
+            4, {"n": 8},
+        )
+        compile_many([bad], workers=1, cache=cache)
+        outcomes = compile_many([bad], workers=1, cache=cache)
+        assert not outcomes[0].ok and not outcomes[0].cached
+
+    def test_timeout_kills_job_not_batch(self, cache, monkeypatch):
+        import repro.compile.driver as driver
+
+        real = driver._build_for_job
+
+        def slow_build(job):
+            if job.label == "slow":
+                time.sleep(60)
+            return real(job)
+
+        # fork start method: workers inherit the patched module state
+        monkeypatch.setattr(driver, "_build_for_job", slow_build)
+        jobs = _jobs(2)
+        slow = CompileJob(TEMPLATE.format(const="99.0"), 4, {"n": 8},
+                          label="slow", timeout=1.5)
+        t0 = time.monotonic()
+        outcomes = compile_many(jobs + [slow], workers=3, cache=cache)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 45  # the sleeper was killed, not awaited
+        assert outcomes[0].ok and outcomes[1].ok
+        assert isinstance(outcomes[2].error, WorkerTimeout)
+
+    def test_crash_is_typed_and_isolated(self, cache, monkeypatch):
+        import repro.compile.driver as driver
+
+        real = driver._build_for_job
+
+        def crashy_build(job):
+            if job.label == "poison":
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", crashy_build)
+        jobs = _jobs(2)
+        poison = CompileJob(TEMPLATE.format(const="77.0"), 4, {"n": 8},
+                            label="poison")
+        outcomes = compile_many(jobs + [poison], workers=3, cache=cache)
+        assert outcomes[0].ok and outcomes[1].ok
+        assert isinstance(outcomes[2].error, WorkerCrashed)
+
+    def test_empty_batch(self, cache):
+        assert compile_many([], workers=2, cache=cache) == []
+
+    def test_kernels_are_runnable(self, cache):
+        outcomes = compile_many(_jobs(2), workers=2, cache=cache)
+        for o in outcomes:
+            ranks = o.kernel.run({"n": 8})
+            assert len(ranks) == 4
+
+
+class TestCompileService:
+    def test_submit_collect(self, cache):
+        from repro.compile.service import CompileService
+
+        with CompileService(workers=2, cache=cache) as svc:
+            tickets = [
+                svc.submit(TEMPLATE.format(const=f"{i}.0"), 4, {"n": 8})
+                for i in range(2)
+            ]
+            outs = [svc.collect(t, timeout=120) for t in tickets]
+        assert all(o.ok for o in outs)
+        assert len({o.kernel.python_source("mpi") for o in outs}) == 2
+
+    def test_coalescing(self, cache):
+        from repro.compile.service import CompileService
+
+        src = TEMPLATE.format(const="1.0")
+        with CompileService(workers=2, cache=cache) as svc:
+            t1 = svc.submit(src, 4, {"n": 8})
+            t2 = svc.submit(src, 4, {"n": 8})
+            assert t1 is t2  # same plan key -> same ticket
+            out = svc.collect(t1, timeout=120)
+            assert out.ok
+            assert svc.poll(t1).done
+
+    def test_sync_compile_raises_typed(self, cache):
+        from repro.compile.service import CompileService
+
+        bad = TEMPLATE.format(const="1.0").replace(
+            "a(i) = b(i-1)", "goto 10"
+        )
+        with CompileService(workers=1, cache=cache) as svc:
+            with pytest.raises(CompileFailed, match="GOTO"):
+                svc.compile(bad, 4, {"n": 8})
+            # the service survives a failed job
+            k = svc.compile(TEMPLATE.format(const="2.0"), 4, {"n": 8})
+            assert k.python_source("mpi")
+
+    def test_shutdown_rejects_new_work(self, cache):
+        from repro.compile.service import CompileService, ServiceClosed
+
+        svc = CompileService(workers=1, cache=cache)
+        svc.shutdown()
+        with pytest.raises(ServiceClosed):
+            svc.submit(TEMPLATE.format(const="1.0"), 4, {"n": 8})
