@@ -16,6 +16,17 @@ The mutation harness (:mod:`repro.check.mutate`) proves the checker's
 teeth: seeded compiler bugs must each be caught by the intended analysis.
 """
 
+from .cost import (
+    CostValidation,
+    CurvePoint,
+    KernelCost,
+    analysis_cost,
+    cost_advisories,
+    kernel_cost,
+    predicted_curve,
+    sweep_cost,
+    validate_against_trace,
+)
 from .diagnostics import (
     E_COVERAGE,
     E_LOCAL,
@@ -24,7 +35,12 @@ from .diagnostics import (
     E_RACE,
     I_CLEAN,
     I_FALLBACK,
+    I_SCALE_LIMIT,
     I_TRIP,
+    W_COMM_HOT,
+    W_IMBALANCE,
+    W_REPLICATED,
+    W_SCALAR_WAVEFRONT,
     W_UNPROVEN,
     CheckReport,
     Diagnostic,
@@ -62,4 +78,18 @@ __all__ = [
     "I_CLEAN",
     "I_FALLBACK",
     "I_TRIP",
+    "W_COMM_HOT",
+    "W_REPLICATED",
+    "W_SCALAR_WAVEFRONT",
+    "W_IMBALANCE",
+    "I_SCALE_LIMIT",
+    "KernelCost",
+    "CurvePoint",
+    "CostValidation",
+    "kernel_cost",
+    "analysis_cost",
+    "sweep_cost",
+    "predicted_curve",
+    "cost_advisories",
+    "validate_against_trace",
 ]

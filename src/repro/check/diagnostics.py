@@ -43,6 +43,13 @@ I_TRIP = "I-TRIP"           # message counts are lower bounds (unknown trips)
 I_CLEAN = "I-CLEAN"         # a nest proved communication-free / fully covered
 I_FALLBACK = "I-FALLBACK"   # an analyzer took a conservative fallback
 
+#: advisory codes of the static LogGP cost analyzer (repro.check.cost)
+W_COMM_HOT = "W-COMM-HOT"            # one statement dominates predicted comm time
+W_REPLICATED = "W-REPLICATED"        # a nest runs replicated (fallback CP)
+W_SCALAR_WAVEFRONT = "W-SCALAR-WAVEFRONT"  # vector backend demoted a loop
+W_IMBALANCE = "W-IMBALANCE"          # uneven per-rank block ownership
+I_SCALE_LIMIT = "I-SCALE-LIMIT"      # predicted speedup knee in T(nprocs)
+
 
 @dataclass
 class Diagnostic:
@@ -113,7 +120,19 @@ class CheckReport:
             f"({len(self.errors())} errors, {len(self.warnings())} warnings, "
             f"{len(self.infos())} infos)"
         ]
-        for d in sorted(self.diagnostics, key=lambda d: -int(d.severity)):
+        # Deterministic ordering: severity floor first (errors before
+        # warnings before infos), then code, then location — so the cost
+        # analyzer's W-/I- advisories interleave consistently with the
+        # verifier's own codes regardless of emission order.
+        def order(d: Diagnostic) -> tuple:
+            return (
+                -int(d.severity),
+                d.code,
+                d.nest if d.nest is not None else -1,
+                d.stmt_sid if d.stmt_sid is not None else -1,
+            )
+
+        for d in sorted(self.diagnostics, key=order):
             if d.severity >= min_severity:
                 lines.append("  " + d.format().replace("\n", "\n  "))
         return "\n".join(lines)

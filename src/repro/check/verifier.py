@@ -94,9 +94,17 @@ def verify_kernel(
     kernel,
     overlap: Optional[dict[str, ISet]] = None,
     schedule: Optional[StaticSchedule] = None,
+    cost_model=None,
 ) -> CheckReport:
     """All four analyses over a compiled kernel (the routing tables the
-    generated node program will execute are checked for matching)."""
+    generated node program will execute are checked for matching), plus
+    the static cost analyzer's performance advisories.
+
+    Structural advisories (``W-REPLICATED``, ``W-SCALAR-WAVEFRONT``,
+    ``W-IMBALANCE``) always run; pass a :class:`~repro.runtime.model.
+    MachineModel` as *cost_model* to additionally get the model-dependent
+    ones (``W-COMM-HOT``).  The advisory layer is best-effort: a failure
+    inside it never turns a verifiable kernel into a failed report."""
     unit = VerifyUnit(
         subject=kernel.sub.name,
         sub=kernel.sub,
@@ -115,6 +123,14 @@ def verify_kernel(
         from ..diag import merge_into_report
 
         merge_into_report(sink.diagnostics, report)
+    try:
+        from .cost import cost_advisories, kernel_cost
+
+        report.extend(cost_advisories(
+            kernel_cost(kernel), kernel=kernel, model=cost_model
+        ))
+    except Exception:  # advisories must never break verification
+        pass
     return report
 
 

@@ -66,6 +66,10 @@ class CommPlan:
     def total_volume(self, binding: Mapping[str, int]) -> int:
         return sum(e.volume(binding) for e in self.live_events())
 
+    def total_bytes(self, binding: Mapping[str, int], word_bytes: int = 8) -> int:
+        """Payload bytes of the plan per nest execution (per processor)."""
+        return self.total_volume(binding) * word_bytes
+
     def total_messages(self, binding: Mapping[str, int]) -> int:
         return sum(
             e.message_count(binding, self._trip) for e in self.live_events()

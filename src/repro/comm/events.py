@@ -53,9 +53,13 @@ class CommEvent:
     def volume(self, binding: Mapping[str, int]) -> int:
         """Elements moved per nest execution (per processor)."""
         try:
-            return self.data.bind(dict(binding)).close_params().count()
+            return self.data.bind(dict(binding)).close_params().cardinality()
         except ValueError:
             return 0
+
+    def byte_volume(self, binding: Mapping[str, int], word_bytes: int = 8) -> int:
+        """Payload bytes moved per nest execution (per processor)."""
+        return self.volume(binding) * word_bytes
 
     def message_count(self, binding: Mapping[str, int], trip_of) -> int:
         """Messages per nest execution: product of trip counts of the loops

@@ -42,6 +42,12 @@ class StatementCP:
     #: optimizations may overwrite the local choice (NEW/LOCALIZE/interproc)
     source: str = "local"
 
+    @property
+    def is_fallback(self) -> bool:
+        """True when lenient compilation degraded this statement to the
+        replicated fallback (the cost analyzer flags it W-REPLICATED)."""
+        return self.source == "fallback"
+
     def __repr__(self) -> str:
         return f"<StatementCP s{self.stmt.sid}: {self.cp} ({self.source}, cost={self.cost:.1f})>"
 

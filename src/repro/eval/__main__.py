@@ -31,7 +31,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=["table-8.1", "table-8.2", "figure-8.1", "figure-8.2",
                  "figure-8.3", "figure-8.4", "diffstats", "ablations", "phases",
-                 "chaos", "check", "bench", "fuzz", "proc", "serve"],
+                 "chaos", "check", "bench", "fuzz", "proc", "serve", "cost"],
     )
     ap.add_argument("--classes", default="A,B", help="comma list of NAS classes")
     ap.add_argument("--procs", default="4,9,16,25", help="comma list of processor counts")
@@ -89,6 +89,13 @@ def main(argv: list[str] | None = None) -> int:
                          "class-S kernel, vector backend)")
     ap.add_argument("--skip-scalar", action="store_true",
                     help="proc: verify the vector backend only")
+    ap.add_argument("--cost-kernel", default=None, metavar="SUBSTR",
+                    help="cost: only kernels whose name contains SUBSTR")
+    ap.add_argument("--no-validate", action="store_true",
+                    help="cost: skip the traced VM runs (report static "
+                         "counts only)")
+    ap.add_argument("--no-curve", action="store_true",
+                    help="cost: skip the 2..25-rank predicted scaling sweep")
     cache_group = ap.add_mutually_exclusive_group()
     cache_group.add_argument("--cold", action="store_true",
                              help="bench: time compiles as plan-cache misses "
@@ -272,6 +279,27 @@ def main(argv: list[str] | None = None) -> int:
                 f"peak disjuncts {b['budget_peak_disjuncts']:3d} / "
                 f"{b['budget_max_disjuncts']}, tripped: {tripped}"
             )
+        # per-rank cumulative communication counters of one traced run —
+        # the measured side of the static cost analyzer's exact-match
+        # contract (see `python -m repro.eval cost`)
+        from ..runtime.sim import VirtualMachine
+        from .bench import _seed_init, kernel_specs
+
+        spec = next(s for s in kernel_specs() if "fig4.2" in s.name)
+        ck = compile_kernel(spec.source, nprocs=spec.nprocs, params=spec.params)
+        vm = VirtualMachine(spec.nprocs, record_trace=True)
+        ck.run(spec.scalars, init=_seed_init(ck, spec.seed_bias), vm=vm)
+        print(f"\nper-rank communication counters ({spec.name}, traced run):")
+        for st in vm.trace.comm_stats_all():
+            print(
+                f"  rank {st.rank}: sent {st.sent_messages:3d} msg / "
+                f"{st.sent_bytes:6d} B, recv {st.recv_messages:3d} msg / "
+                f"{st.recv_bytes:6d} B"
+            )
+        print(
+            f"  total: {vm.trace.total_messages()} messages, "
+            f"{vm.trace.total_bytes()} bytes"
+        )
         p = plan_cache.as_dict()
         print("\nplan cache (hermetic; cold populate + LRU and disk warm passes):")
         print(
@@ -287,6 +315,20 @@ def main(argv: list[str] | None = None) -> int:
             f"  on disk:   {p['disk_entries']} entries, "
             f"{p['bytes_on_disk']} bytes"
         )
+    elif args.target == "cost":
+        from .cost import run_cost
+
+        text, ok = run_cost(
+            only=args.cost_kernel,
+            validate=not args.no_validate,
+            curve=not args.no_curve,
+            progress=lambda msg: print(f"  [cost] {msg}", flush=True),
+        )
+        print(text)
+        if not ok:
+            print("COST VALIDATION FAILED: static counts diverge from the "
+                  "fault-free trace")
+            return 1
     elif args.target == "fuzz":
         from .fuzz import run_fuzz
 

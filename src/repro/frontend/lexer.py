@@ -12,7 +12,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 from ..diag import E_LEX, CompileError, DiagnosticSink, SourceSpan
 
@@ -60,7 +60,7 @@ class LogicalLine:
     tokens index into with their ``col`` fields — diagnostics use it to
     render caret-annotated excerpts."""
 
-    tokens: List[Token]
+    tokens: list[Token]
     lineno: int
     is_directive: bool = False
     text: str = field(default="", compare=False)
@@ -106,7 +106,7 @@ class Lexer:
         self.source = source
         self.sink = sink
 
-    def logical_lines(self) -> List[LogicalLine]:
+    def logical_lines(self) -> list[LogicalLine]:
         # 1. strip comments, detect directives, join continuations
         raw: list[tuple[str, int, bool]] = []  # (text, lineno, is_directive)
         for lineno, line in enumerate(self.source.splitlines(), start=1):

@@ -17,7 +17,7 @@ DO loop, ON_HOME to the next statement.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from ..diag import E_PARSE, CompileError, DiagnosticSink, SourceSpan
 from ..ir.directives import (
@@ -122,7 +122,7 @@ class _UnitParser:
 
     def __init__(
         self,
-        lines: List[LogicalLine],
+        lines: list[LogicalLine],
         start: int,
         sink: Optional[DiagnosticSink] = None,
     ):

@@ -28,7 +28,7 @@ from .procexec import (
 )
 from .reliable import ReliableConfig, ReliableTransport
 from .sim import VirtualMachine, Rank, DeadlockError
-from .trace import TraceEvent, Trace
+from .trace import RankCommStats, Trace, TraceEvent
 
 __all__ = [
     "MachineModel",
@@ -43,6 +43,7 @@ __all__ = [
     "ReliableTransport",
     "TraceEvent",
     "Trace",
+    "RankCommStats",
     "ProcessExecutor",
     "ProcConfig",
     "ProcFault",

@@ -13,6 +13,10 @@ class MachineModel:
     - ``alpha``: message latency in seconds (includes both overheads)
     - ``beta``: seconds per byte of message payload
     - ``word_bytes``: bytes per array element (double precision)
+    - ``o``: additional per-message CPU overhead on each endpoint (LogGP's
+      *o*; 0 folds it into ``alpha``, the pre-existing behaviour)
+    - ``g``: minimum gap between consecutive message injections (LogGP's
+      *g*; 0 means the network pipelines back-to-back sends perfectly)
     """
 
     name: str
@@ -20,6 +24,8 @@ class MachineModel:
     alpha: float
     beta: float
     word_bytes: int = 8
+    o: float = 0.0
+    g: float = 0.0
 
     def __post_init__(self) -> None:
         if self.flop_time <= 0:
@@ -38,15 +44,38 @@ class MachineModel:
             raise ValueError(
                 f"word_bytes must be a positive element size, got {self.word_bytes!r}"
             )
+        if self.o < 0:
+            raise ValueError(
+                f"o (per-message CPU overhead) must be non-negative, got {self.o!r}"
+            )
+        if self.g < 0:
+            raise ValueError(
+                f"g (inter-message gap) must be non-negative, got {self.g!r}"
+            )
 
     def msg_time(self, nbytes: int) -> float:
-        return self.alpha + self.beta * nbytes
+        return self.alpha + 2 * self.o + self.beta * nbytes
 
     def elems_time(self, nelems: int) -> float:
         return self.msg_time(nelems * self.word_bytes)
 
     def compute_time(self, flops: float) -> float:
         return flops * self.flop_time
+
+    def loggp_time(self, nmsgs: int, nbytes: int) -> float:
+        """LogGP cost of *nmsgs* messages totalling *nbytes* payload bytes
+        on one endpoint: each message pays latency plus send+recv overhead,
+        consecutive injections are separated by the gap, and the payload
+        streams at ``beta`` seconds/byte.  With the default ``o = g = 0``
+        this degenerates to ``nmsgs * alpha + beta * nbytes`` — the postal
+        model the virtual machine charges."""
+        if nmsgs <= 0:
+            return 0.0
+        return (
+            nmsgs * (self.alpha + 2 * self.o)
+            + (nmsgs - 1) * self.g
+            + self.beta * nbytes
+        )
 
 
 #: The paper's platform: IBM SP2, 120 MHz P2SC "thin" nodes, IBM user-space

@@ -28,6 +28,29 @@ class TraceEvent:
         return self.t1 - self.t0
 
 
+@dataclass(frozen=True)
+class RankCommStats:
+    """Cumulative message/byte counters for one rank of a run.
+
+    The static cost analyzer (:mod:`repro.check.cost`) asserts its
+    predicted counts equal these *exactly* on fault-free runs."""
+
+    rank: int
+    sent_messages: int = 0
+    sent_bytes: int = 0
+    recv_messages: int = 0
+    recv_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "sent_messages": self.sent_messages,
+            "sent_bytes": self.sent_bytes,
+            "recv_messages": self.recv_messages,
+            "recv_bytes": self.recv_bytes,
+        }
+
+
 class Trace:
     """Per-rank event log of one VirtualMachine run."""
 
@@ -45,6 +68,34 @@ class Trace:
 
     def messages(self) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == "send"]
+
+    # -- cumulative per-rank communication accounting ----------------------
+    def comm_stats(self, rank: int) -> RankCommStats:
+        """Cumulative messages/bytes sent and received by one rank."""
+        sm = sb = rm = rb = 0
+        for e in self.events:
+            if e.rank != rank:
+                continue
+            if e.kind == "send":
+                sm += 1
+                sb += e.nbytes
+            elif e.kind == "recv":
+                rm += 1
+                rb += e.nbytes
+        return RankCommStats(rank, sm, sb, rm, rb)
+
+    def comm_stats_all(self) -> list[RankCommStats]:
+        """Per-rank cumulative counters for every rank of the run."""
+        return [self.comm_stats(r) for r in range(self.nprocs)]
+
+    def total_messages(self) -> int:
+        """Messages sent across all ranks (each message counted once, on
+        its sender)."""
+        return sum(1 for e in self.events if e.kind == "send")
+
+    def total_bytes(self) -> int:
+        """Payload bytes sent across all ranks."""
+        return sum(e.nbytes for e in self.events if e.kind == "send")
 
     def makespan(self) -> float:
         return max((e.t1 for e in self.events), default=0.0)
@@ -69,6 +120,7 @@ class Trace:
         return {
             "nprocs": self.nprocs,
             "makespan": self.makespan(),
+            "comm": [s.as_dict() for s in self.comm_stats_all()],
             "events": [
                 {
                     "rank": e.rank,
