@@ -22,6 +22,7 @@ from ..ir.program import Program, Subroutine
 from ..ir.stmt import Assign, Continue, DoLoop, IfThen, Return, Stmt
 from ..ir.visit import collect_array_refs, walk_stmts
 from ..isets import BudgetExceeded, IsetBudget, iset_budget
+from ..isets.profile import phase as profile_phase
 from ..runtime.sim import Rank, VirtualMachine
 from .pyemit import emit_assign_target, emit_expr
 
@@ -35,6 +36,89 @@ class CodegenUnsupported(Exception):
 # compile driver
 # ---------------------------------------------------------------------------
 
+@dataclass
+class NestSelection:
+    """The rank-symbolic half of one nest's analysis: CP choices,
+    privatization scopes, and the comm-exempt array names.  Contains no
+    communication sets, so it holds for *any* processor count with the
+    same distribution layout — computed once at a canonical grid
+    (:func:`repro.distrib.layout.canonical_nprocs`) and specialized per
+    target ``nprocs`` by :func:`analyze_program`.  ``failure`` records
+    why selection degraded (lenient mode only); such nests replay the
+    replicated fallback at specialization time."""
+
+    cps: "dict[int, StatementCP]"
+    private_arrays: "set[str]"
+    localized_arrays: "set[str]"
+    no_comm: "frozenset[str]"
+    failure: "str | None" = None
+
+
+@dataclass
+class ProgramSelection:
+    """Per-nest :class:`NestSelection` skeletons for every top-level DO
+    nest of one subroutine, in body order, stamped with the canonical
+    ``nprocs`` they were computed at."""
+
+    nprocs: int
+    nests: "list[NestSelection]"
+
+
+def _select_one_nest(
+    item: DoLoop,
+    ctx: DistributionContext,
+    merged: dict[str, int],
+    sel: CPSelector,
+    grouper: CPGrouper,
+) -> NestSelection:
+    """The rank-symbolic per-nest half of :func:`analyze_program`: CP
+    selection, NEW/LOCALIZE propagation, comm-sensitive grouping."""
+    with profile_phase("cp-select"):
+        cps = sel.select(item, merged)
+    # NEW anywhere in this nest: propagate across the whole nest (the
+    # paper's privatization scope is the enclosing parallel loop; uses
+    # live in sibling loops of the definition)
+    new_vars: list[str] = []
+    for loop in walk_stmts([item]):
+        if isinstance(loop, DoLoop) and loop.directive:
+            new_vars.extend(loop.directive.new_vars)
+    privs = {v.lower() for v in new_vars}
+    with profile_phase("propagate"):
+        if new_vars:
+            propagate_new_cps(item, new_vars, cps, NestInfo(item, merged), ctx)
+        # LOCALIZE scope
+        locs: set[str] = set()
+        if item.directive and item.directive.localize_vars:
+            locs = {v.lower() for v in item.directive.localize_vars}
+            propagate_localize_cps(
+                item, item.directive.localize_vars, cps, ctx, merged
+            )
+    # communication-sensitive grouping for the remaining local choices
+    with profile_phase("group"):
+        res = grouper.group(item, cps=cps, params=merged)
+    cps = res.cps
+    no_comm: set[str] = set()
+    for loop in walk_stmts([item]):
+        if isinstance(loop, DoLoop) and loop.directive:
+            no_comm |= {v.lower() for v in loop.directive.new_vars}
+            no_comm |= {v.lower() for v in loop.directive.localize_vars}
+    return NestSelection(cps, privs, locs, frozenset(no_comm))
+
+
+def _comm_one_nest(
+    item: DoLoop,
+    nsel: NestSelection,
+    ctx: DistributionContext,
+    merged: dict[str, int],
+) -> CommPlan:
+    """Specialize one selected nest at a concrete processor count:
+    communication analysis under *ctx* with the skeleton's CP choices."""
+    with profile_phase("comm"):
+        return CommAnalyzer(
+            item, nsel.cps, ctx, merged, exclude_arrays=nsel.no_comm
+        ).analyze()
+
+
 def _analyze_one_nest(
     item: DoLoop,
     ctx: DistributionContext,
@@ -44,32 +128,9 @@ def _analyze_one_nest(
 ) -> "tuple[dict[int, StatementCP], CommPlan, set[str], set[str]]":
     """The per-nest half of :func:`analyze_program`: CP selection,
     NEW/LOCALIZE propagation, comm-sensitive grouping, comm analysis."""
-    cps = sel.select(item, merged)
-    # NEW anywhere in this nest: propagate across the whole nest (the
-    # paper's privatization scope is the enclosing parallel loop; uses
-    # live in sibling loops of the definition)
-    new_vars: list[str] = []
-    for loop in walk_stmts([item]):
-        if isinstance(loop, DoLoop) and loop.directive:
-            new_vars.extend(loop.directive.new_vars)
-    privs = {v.lower() for v in new_vars}
-    if new_vars:
-        propagate_new_cps(item, new_vars, cps, NestInfo(item, merged), ctx)
-    # LOCALIZE scope
-    locs: set[str] = set()
-    if item.directive and item.directive.localize_vars:
-        locs = {v.lower() for v in item.directive.localize_vars}
-        propagate_localize_cps(item, item.directive.localize_vars, cps, ctx, merged)
-    # communication-sensitive grouping for the remaining local choices
-    res = grouper.group(item, cps=cps, params=merged)
-    cps = res.cps
-    no_comm: set[str] = set()
-    for loop in walk_stmts([item]):
-        if isinstance(loop, DoLoop) and loop.directive:
-            no_comm |= {v.lower() for v in loop.directive.new_vars}
-            no_comm |= {v.lower() for v in loop.directive.localize_vars}
-    plan = CommAnalyzer(item, cps, ctx, merged, exclude_arrays=no_comm).analyze()
-    return cps, plan, privs, locs
+    nsel = _select_one_nest(item, ctx, merged, sel, grouper)
+    plan = _comm_one_nest(item, nsel, ctx, merged)
+    return nsel.cps, plan, nsel.private_arrays, nsel.localized_arrays
 
 
 def _expr_scalar_names(e) -> set[str]:
@@ -293,12 +354,65 @@ def _replicated_nest(
     return cps, CommPlan(events, (item,), frozenset())
 
 
+def select_program(
+    sub: Subroutine,
+    ctx: DistributionContext,
+    merged: Mapping[str, int],
+    sink: "DiagnosticSink | None" = None,
+    budget: "IsetBudget | None" = None,
+) -> ProgramSelection:
+    """Run the rank-symbolic half of the analysis pipeline (CP selection,
+    NEW/LOCALIZE propagation, comm-sensitive grouping — everything
+    :func:`analyze_program` does *except* communication analysis) on every
+    top-level nest of *sub*.
+
+    The result references only the distribution layout's structure, not
+    concrete communication sets, so a selection computed at the canonical
+    processor count (:func:`repro.distrib.layout.canonical_nprocs`) can be
+    specialized to any target count via ``analyze_program(...,
+    selection=...)``.  With a lenient *sink*, a nest whose selection fails
+    records a ``failure`` reason instead of raising; specialization then
+    degrades exactly those nests to replicated execution.
+    """
+    merged = dict(merged)
+    sel = CPSelector(ctx, eval_params=merged)
+    grouper = CPGrouper(ctx, sel)
+    lenient = sink is not None and not sink.strict
+    nests: list[NestSelection] = []
+    nest_idx = -1
+    for item in sub.body:
+        if not isinstance(item, DoLoop):
+            continue
+        nest_idx += 1
+        if not lenient:
+            nests.append(_select_one_nest(item, ctx, merged, sel, grouper))
+            continue
+        try:
+            nests.append(_select_one_nest(item, ctx, merged, sel, grouper))
+        except BudgetExceeded as exc:
+            if budget is not None:
+                budget.reset_ops()  # fresh window for the remaining nests
+            sink.warn(str(exc), code=W_BUDGET, pass_name="isets", nest=nest_idx)
+            nests.append(
+                NestSelection({}, set(), set(), frozenset(), failure=str(exc))
+            )
+        except Exception as exc:  # degrade at specialization, never crash
+            nests.append(
+                NestSelection(
+                    {}, set(), set(), frozenset(),
+                    failure=f"{type(exc).__name__}: {exc}",
+                )
+            )
+    return ProgramSelection(ctx.nprocs, nests)
+
+
 def analyze_program(
     sub: Subroutine,
     ctx: DistributionContext,
     merged: Mapping[str, int],
     sink: "DiagnosticSink | None" = None,
     budget: "IsetBudget | None" = None,
+    selection: "ProgramSelection | None" = None,
 ) -> "tuple[dict[int, StatementCP], list[tuple[DoLoop, CommPlan]], set[str], set[str]]":
     """Run the dHPF analysis pipeline (CP selection, NEW/LOCALIZE
     propagation, comm-sensitive grouping, communication analysis) on every
@@ -309,6 +423,13 @@ def analyze_program(
     static verifier (:mod:`repro.check`) uses it directly so that kernels
     the code generator rejects (pipelined communication, §5) can still be
     verified.
+
+    With a precomputed *selection* (from :func:`select_program`, possibly
+    at a different — canonical — processor count), CP selection is skipped
+    entirely and only communication analysis runs under *ctx*: the
+    rank-symbolic specialization path.  Skeleton nests carrying a
+    ``failure`` marker degrade deterministically, independent of the
+    target count.
 
     With a lenient *sink* (``DiagnosticSink(strict=False)``), any nest the
     pipeline cannot analyze soundly — a raised analysis error, a gap found
@@ -322,33 +443,60 @@ def analyze_program(
     nest_plans: list[tuple[DoLoop, CommPlan]] = []
     private_arrays: set[str] = set()
     localized_arrays: set[str] = set()
-    sel = CPSelector(ctx, eval_params=merged)
-    grouper = CPGrouper(ctx, sel)
+    if selection is None:
+        sel = CPSelector(ctx, eval_params=merged)
+        grouper = CPGrouper(ctx, sel)
     lenient = sink is not None and not sink.strict
     nest_idx = -1
     for item in sub.body:
         if not isinstance(item, DoLoop):
             continue
         nest_idx += 1
+        nsel: NestSelection | None = None
+        if selection is not None:
+            if nest_idx >= len(selection.nests):
+                raise ValueError(
+                    "selection skeleton does not match program nests"
+                )
+            nsel = selection.nests[nest_idx]
         if not lenient:
-            cps, plan, privs, locs = _analyze_one_nest(item, ctx, merged, sel, grouper)
-        else:
-            reason = None
-            cps, plan, privs, locs = {}, None, set(), set()
-            try:
+            if nsel is None:
                 cps, plan, privs, locs = _analyze_one_nest(
                     item, ctx, merged, sel, grouper
                 )
-                reason = _nest_degrade_reason(
-                    item, cps, plan, ctx, merged, private=privs | locs
-                )
-            except BudgetExceeded as exc:
-                if budget is not None:
-                    budget.reset_ops()  # fresh window for the remaining nests
-                sink.warn(str(exc), code=W_BUDGET, pass_name="isets", nest=nest_idx)
-                reason = str(exc)
-            except Exception as exc:  # degrade, never crash
-                reason = f"{type(exc).__name__}: {exc}"
+            else:
+                if nsel.failure is not None:
+                    raise ValueError(
+                        f"selection failed for nest {nest_idx}: {nsel.failure}"
+                    )
+                plan = _comm_one_nest(item, nsel, ctx, merged)
+                cps = nsel.cps
+                privs = set(nsel.private_arrays)
+                locs = set(nsel.localized_arrays)
+        else:
+            reason = nsel.failure if nsel is not None else None
+            cps, plan, privs, locs = {}, None, set(), set()
+            if reason is None:
+                try:
+                    if nsel is None:
+                        cps, plan, privs, locs = _analyze_one_nest(
+                            item, ctx, merged, sel, grouper
+                        )
+                    else:
+                        cps = nsel.cps
+                        privs = set(nsel.private_arrays)
+                        locs = set(nsel.localized_arrays)
+                        plan = _comm_one_nest(item, nsel, ctx, merged)
+                    reason = _nest_degrade_reason(
+                        item, cps, plan, ctx, merged, private=privs | locs
+                    )
+                except BudgetExceeded as exc:
+                    if budget is not None:
+                        budget.reset_ops()  # fresh window for remaining nests
+                    sink.warn(str(exc), code=W_BUDGET, pass_name="isets", nest=nest_idx)
+                    reason = str(exc)
+                except Exception as exc:  # degrade, never crash
+                    reason = f"{type(exc).__name__}: {exc}"
             if reason is not None:
                 sink.fallback(
                     f"nest degraded to replicated execution: {reason}",
@@ -779,9 +927,10 @@ class CompiledKernel:
         self.grid = ctx.the_grid()
         if self.grid.size != nprocs:
             raise ValueError(f"grid size {self.grid.size} != nprocs {nprocs}")
-        self._routes: list[list[_Route]] = [
-            self._build_routes(i, plan) for i, (_, plan) in enumerate(nest_plans)
-        ]
+        with profile_phase("routes"):
+            self._routes: list[list[_Route]] = [
+                self._build_routes(i, plan) for i, (_, plan) in enumerate(nest_plans)
+            ]
         self._guard_cache: dict[int, Guards] = {}
         self._sources: dict[str, str] = {}
         self._fns: dict[str, Callable] = {}

@@ -15,8 +15,10 @@ A :class:`PlanKey` names one compilation *plan* — everything
   so upgrading the compiler invalidates every previously cached plan.
 
 Keys address three staged artifacts with progressively more inputs:
-``parse`` (source only), ``analysis`` (+ params/nprocs/strict — the
-backend-independent bundle), and ``kernel`` (+ backend).  The digests are
+``parse`` (source only), ``analysis`` (+ params/strict — the
+rank-symbolic selection skeleton, deliberately **nprocs-free** so one
+entry serves every processor count in a scaling sweep), and ``kernel``
+(+ nprocs/backend).  The digests are
 SHA-256, so the on-disk store under ``~/.cache/repro-plans`` is safe to
 share between processes and branches.
 """
@@ -166,11 +168,14 @@ class PlanKey:
 
     @property
     def analysis_digest(self) -> str:
+        # Deliberately nprocs-free: the artifact at this tier is the
+        # rank-symbolic selection skeleton, valid for every processor
+        # count with this source/params/strict combination — one entry
+        # fans out to a whole scaling sweep.
         return _digest({
             "stage": "analysis",
             "source": self.source_sha,
             "params": list(self.params),
-            "nprocs": self.nprocs,
             "strict": self.strict,
             "fp": self.fingerprint,
         })

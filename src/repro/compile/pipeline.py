@@ -9,23 +9,37 @@ explicit, each with a serializable artifact and a content-addressed key
    :class:`~repro.ir.program.Subroutine` (multi-unit programs are
    inlined bottom-up in lenient mode).  Artifact: :class:`ParseArtifact`
    keyed by ``key.parse_digest``.
-2. **analyze** — the dHPF analysis bundle
-   ``(ctx, cps, nest_plans, private_arrays, localized_arrays)`` from
-   :func:`repro.codegen.spmd.analyze_program`.  Backend-independent, so
-   a scalar and a vector compilation of the same source share it.
-   Artifact: :class:`AnalysisArtifact` keyed by ``key.analysis_digest``
-   (strict compilations only — the lenient path interleaves trial code
-   generation with analysis for its whole-program fallback, so it is
-   cached at kernel granularity instead).
-3. **codegen** — the executable :class:`~repro.codegen.spmd.CompiledKernel`
+2. **select** — the rank-symbolic half of analysis (CP selection,
+   NEW/LOCALIZE propagation, comm-sensitive grouping) from
+   :func:`repro.codegen.spmd.select_program`, computed at a canonical
+   processor count derived from the layout alone
+   (:func:`repro.distrib.layout.canonical_nprocs`).  Independent of both
+   backend and ``nprocs``, so one cached selection fans out to every
+   rank count in a scaling sweep.  Artifact: :class:`SelectionArtifact`
+   keyed by ``key.analysis_digest`` — which deliberately omits
+   ``nprocs`` (strict compilations only — the lenient path interleaves
+   trial code generation with analysis for its whole-program fallback,
+   so it is cached at kernel granularity instead).
+3. **specialize** — communication analysis of the selection skeleton at
+   the concrete target ``nprocs``, yielding the full analysis bundle
+   ``(ctx, cps, nest_plans, private_arrays, localized_arrays)`` as an
+   in-memory :class:`AnalysisArtifact` (never cached on its own — it is
+   cheap to regenerate from a selection hit).
+4. **codegen** — the executable :class:`~repro.codegen.spmd.CompiledKernel`
    with both node-program texts (mpi + shmem) pre-emitted.  Artifact:
    :class:`KernelArtifact` keyed by ``key.kernel_digest``.
 
+When no canonical processor count can be derived (non-affine directive
+extents, exotic layouts), the driver falls back to the legacy
+per-``nprocs`` analysis and simply skips the selection tier — a safety
+valve, never an error.  Explicit iset budgets also take the legacy path
+so budget consumption order stays exactly historical.
+
 :func:`cached_compile` is the front door ``compile_kernel`` delegates
 to: kernel-tier hit → unpickle, replay the recorded diagnostics into the
-caller's sink, return; analysis-tier hit → regenerate code only;
-parse-tier hit → re-analyze; full miss → run everything and populate all
-tiers.  Warm kernels are bitwise-identical to cold ones: the pickled
+caller's sink, return; selection-tier hit → specialize at the target
+``nprocs`` and regenerate code; parse-tier hit → re-analyze; full miss →
+run everything and populate all tiers.  Warm kernels are bitwise-identical to cold ones: the pickled
 artifact carries the emitted sources, guards covers, routes, and
 vectorization reports verbatim, and every hit deserializes a fresh
 object so callers can never mutate the cache.
@@ -43,6 +57,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
 from ..diag import DiagnosticSink
+from ..isets.core import new_epoch
+from ..isets.profile import phase as profile_phase
 from .cache import PlanCache
 from .key import PlanKey
 
@@ -66,10 +82,23 @@ class ParseArtifact:
 
 
 @dataclass
+class SelectionArtifact:
+    """Stage-2 output (strict compilations): the rank-symbolic analysis
+    skeleton — CP choices, privatization scopes, grouping — computed at
+    the canonical processor count ``selection.nprocs``.  Cached under
+    ``key.analysis_digest`` (no ``nprocs``), so a scaling sweep pays for
+    CP selection once and specializes per rank count."""
+
+    sub: "Subroutine"
+    merged: dict
+    selection: object  # repro.codegen.spmd.ProgramSelection
+
+
+@dataclass
 class AnalysisArtifact:
-    """Stage-2 output (strict compilations): the backend-independent
-    analysis bundle.  ``ctx`` rides along so codegen-only reconstruction
-    never re-derives the distribution context."""
+    """Specialize-stage output: the backend-independent analysis bundle
+    at one concrete ``nprocs``.  ``ctx`` rides along so codegen-only
+    reconstruction never re-derives the distribution context."""
 
     sub: "Subroutine"
     ctx: object
@@ -149,6 +178,100 @@ def stage_parse(source_or_sub, sink: DiagnosticSink) -> "Subroutine":
     return sub
 
 
+def stage_select(sub: "Subroutine", params: dict) -> "SelectionArtifact | None":
+    """Selection stage (strict): the ``nprocs``-free half of analysis.
+
+    Derives the canonical processor count from the layout and runs CP
+    selection, NEW/LOCALIZE propagation, and grouping there.  Returns
+    ``None`` when no canonical count can be derived or selection fails at
+    it (the safety valve — the caller falls back to the legacy
+    per-``nprocs`` analysis of :func:`_analyze_direct` and skips the
+    selection cache tier)."""
+    from ..codegen.spmd import select_program
+    from ..distrib.layout import DistributionContext, canonical_nprocs
+
+    with profile_phase("select"):
+        try:
+            cn = canonical_nprocs(sub, params)
+            ctx = DistributionContext(sub, cn, params)
+            merged = {**sub.symbols.parameter_values(), **params}
+            selection = select_program(sub, ctx, merged)
+        except Exception:
+            return None
+    return SelectionArtifact(sub=sub, merged=merged, selection=selection)
+
+
+def stage_specialize(
+    art: SelectionArtifact,
+    nprocs: int,
+    params: dict,
+) -> AnalysisArtifact:
+    """Specialization stage (strict): communication analysis of a
+    selection skeleton at the concrete target *nprocs*.
+
+    Iset enumeration over symbols with no compile-time value surfaces as
+    ``KeyError`` deep in the point enumerator; strict mode promises typed
+    errors only, so it converts to :class:`CodegenUnsupported`.
+    """
+    from ..codegen.spmd import CodegenUnsupported, analyze_program
+    from ..distrib.layout import DistributionContext
+
+    with profile_phase("specialize"):
+        try:
+            ctx = DistributionContext(art.sub, nprocs, params)
+            cps_all, nest_plans, private_arrays, localized_arrays = (
+                analyze_program(
+                    art.sub, ctx, art.merged, selection=art.selection
+                )
+            )
+        except KeyError as exc:
+            raise CodegenUnsupported(
+                f"analysis requires compile-time values: {exc}"
+            ) from exc
+    return AnalysisArtifact(
+        sub=art.sub, ctx=ctx, merged=art.merged, cps=cps_all,
+        nest_plans=nest_plans, private_arrays=private_arrays,
+        localized_arrays=localized_arrays,
+    )
+
+
+def _analyze_direct(
+    sub: "Subroutine",
+    nprocs: int,
+    params: dict,
+    budget=None,
+) -> AnalysisArtifact:
+    """Legacy one-shot analysis: CP selection *and* communication analysis
+    at the target *nprocs*, interleaved per nest.  Used when no canonical
+    processor count exists, and whenever an explicit iset *budget* is
+    attached (so budget consumption order stays exactly historical)."""
+    from ..codegen.spmd import CodegenUnsupported, analyze_program
+    from ..distrib.layout import DistributionContext
+    from ..isets import iset_budget
+
+    with profile_phase("analyze"):
+        try:
+            ctx = DistributionContext(sub, nprocs, params)
+            merged = {**sub.symbols.parameter_values(), **params}
+            if budget is not None:
+                with iset_budget(budget):
+                    cps_all, nest_plans, private_arrays, localized_arrays = (
+                        analyze_program(sub, ctx, merged)
+                    )
+            else:
+                cps_all, nest_plans, private_arrays, localized_arrays = (
+                    analyze_program(sub, ctx, merged)
+                )
+        except KeyError as exc:
+            raise CodegenUnsupported(
+                f"analysis requires compile-time values: {exc}"
+            ) from exc
+    return AnalysisArtifact(
+        sub=sub, ctx=ctx, merged=merged, cps=cps_all, nest_plans=nest_plans,
+        private_arrays=private_arrays, localized_arrays=localized_arrays,
+    )
+
+
 def stage_analyze(
     sub: "Subroutine",
     nprocs: int,
@@ -158,34 +281,18 @@ def stage_analyze(
     """Analysis stage (strict): CP selection, NEW/LOCALIZE propagation,
     comm-sensitive grouping, and communication analysis over every nest.
 
-    Iset enumeration over symbols with no compile-time value surfaces as
-    ``KeyError`` deep in the point enumerator; strict mode promises typed
-    errors only, so it converts to :class:`CodegenUnsupported`.
+    Without a *budget* this routes through the rank-symbolic split —
+    :func:`stage_select` at the canonical processor count, then
+    :func:`stage_specialize` at *nprocs* — so cold compiles and
+    selection-tier cache hits are identical by construction.  With a
+    budget, or when no canonical count exists, it runs the legacy
+    per-``nprocs`` analysis directly.
     """
-    from ..codegen.spmd import CodegenUnsupported, analyze_program
-    from ..distrib.layout import DistributionContext
-    from ..isets import iset_budget
-
-    try:
-        ctx = DistributionContext(sub, nprocs, params)
-        merged = {**sub.symbols.parameter_values(), **params}
-        if budget is not None:
-            with iset_budget(budget):
-                cps_all, nest_plans, private_arrays, localized_arrays = (
-                    analyze_program(sub, ctx, merged)
-                )
-        else:
-            cps_all, nest_plans, private_arrays, localized_arrays = (
-                analyze_program(sub, ctx, merged)
-            )
-    except KeyError as exc:
-        raise CodegenUnsupported(
-            f"analysis requires compile-time values: {exc}"
-        ) from exc
-    return AnalysisArtifact(
-        sub=sub, ctx=ctx, merged=merged, cps=cps_all, nest_plans=nest_plans,
-        private_arrays=private_arrays, localized_arrays=localized_arrays,
-    )
+    if budget is None:
+        selart = stage_select(sub, params)
+        if selart is not None:
+            return stage_specialize(selart, nprocs, params)
+    return _analyze_direct(sub, nprocs, params, budget=budget)
 
 
 def stage_codegen(
@@ -222,9 +329,9 @@ def stage_codegen(
 @dataclass
 class StageRecord:
     """Cold-path byproducts the caching driver persists: the pickled
-    parse/analysis artifacts, captured immediately after their stage ran
+    parse/selection artifacts, captured immediately after their stage ran
     (so later stages mutating the IR can never leak into an earlier
-    tier)."""
+    tier).  ``analysis_payload`` holds a :class:`SelectionArtifact`."""
 
     parse_payload: bytes | None = None
     analysis_payload: bytes | None = None
@@ -251,17 +358,26 @@ def build_kernel(
     from ..codegen.spmd import _build_lenient
     from ..isets import IsetBudget
 
+    new_epoch()
     lenient = not sink.strict
-    if sub is None:
-        sub = stage_parse(source_or_sub, sink)
+    if sub is None and (analysis is None or lenient):
+        # (skipped entirely on a strict selection-tier hit — the artifact
+        # carries its own analyzed Subroutine)
+        with profile_phase("parse"):
+            sub = stage_parse(source_or_sub, sink)
         if record is not None and not lenient:
             record.parse_payload = _dumps(ParseArtifact(sub=sub))
     if not lenient:
         if analysis is None:
-            analysis = stage_analyze(sub, nprocs, params, budget=budget)
-            if record is not None:
-                record.analysis_payload = _dumps(analysis)
-        kernel = stage_codegen(analysis, nprocs, backend, sink)
+            selart = stage_select(sub, params) if budget is None else None
+            if selart is not None:
+                if record is not None:
+                    record.analysis_payload = _dumps(selart)
+                analysis = stage_specialize(selart, nprocs, params)
+            else:
+                analysis = _analyze_direct(sub, nprocs, params, budget=budget)
+        with profile_phase("codegen"):
+            kernel = stage_codegen(analysis, nprocs, backend, sink)
     else:
         if budget is None:
             budget = IsetBudget()
@@ -356,14 +472,21 @@ def cached_compile(
             if isinstance(art, KernelArtifact):
                 return _replay(art.kernel, sink)
 
-    # stage-tier reuse (strict only; see module docstring)
+    # stage-tier reuse (strict only; see module docstring).  The selection
+    # tier is keyed without nprocs: a hit pays only specialization (comm
+    # analysis) and codegen — one symbolic selection serves a whole
+    # processor-count sweep.
     sub = analysis = None
     if read_ok and sink.strict:
         apayload = cache.get(key.analysis_digest)
         if apayload is not None:
             aart = _loads(apayload)
-            if isinstance(aart, AnalysisArtifact):
-                analysis = aart
+            if isinstance(aart, SelectionArtifact):
+                new_epoch()
+                try:
+                    analysis = stage_specialize(aart, nprocs, params)
+                except Exception:
+                    analysis = None  # treat as a miss; cold path re-raises typed
         if analysis is None:
             ppayload = cache.get(key.parse_digest)
             if ppayload is not None:

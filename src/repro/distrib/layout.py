@@ -507,3 +507,74 @@ def _near_square_factor(n: int, k: int) -> tuple[int, ...]:
     rec(n, [])
     assert best is not None
     return tuple(sorted(best))
+
+
+def canonical_nprocs(
+    sub: Subroutine, params: Mapping[str, int] | None = None
+) -> int:
+    """A small processor count representative of *sub*'s layout.
+
+    CP selection ranks candidate partitionings by comparing non-local
+    access counts across a sampled processor grid; for the affine
+    block/cyclic layouts here the *ranking* is determined by which grid
+    dimensions are distributed, not by their extents.  This derives the
+    smallest count that exercises every distributed grid dimension with
+    extent >= 2: fixed PROCESSORS extents are honored verbatim, each
+    wildcard (``*``) extent contributes a factor of 2, a DISTRIBUTE with
+    no ONTO clause contributes 2 per distributed format dimension, and a
+    MULTI distribution without ONTO forces a perfect square.  A selection
+    computed at this count is then specialized to any concrete rank count
+    with the same layout (see :mod:`repro.compile.pipeline`).
+
+    Raises ``ValueError`` if a directive extent is not an affine
+    compile-time expression — callers treat that as "no canonical count"
+    and fall back to per-``nprocs`` analysis.
+    """
+    merged: dict[str, int] = dict(sub.symbols.parameter_values())
+    if params:
+        merged.update(params)
+
+    def ev(e: Expr) -> int:
+        a = to_affine(e)
+        if a is None:
+            raise ValueError(f"directive expression {e} is not affine")
+        return a.evaluate(merged)
+
+    n = 1
+    for p in sub.processors:
+        fixed = 1
+        nwild = 0
+        for s in p.shape:
+            if s is None:
+                nwild += 1
+            else:
+                fixed *= ev(s)
+        n = math.lcm(n, fixed * (2 ** nwild))
+    ndist_default = 0
+    multi_no_onto = False
+    for d in sub.distributes:
+        if d.onto:
+            continue
+        if d.formats and all(f.kind == "multi" for f in d.formats):
+            multi_no_onto = True
+        else:
+            nd = sum(1 for f in d.formats if f.kind != "*")
+            ndist_default = max(ndist_default, nd)
+    if ndist_default:
+        n = math.lcm(n, 2 ** ndist_default)
+    if multi_no_onto:
+        # MULTI without ONTO needs a perfect-square count: multiply by the
+        # squarefree part of n (n is tiny, so trial division is fine).
+        rem, free, f = n, 1, 2
+        while f * f <= rem:
+            cnt = 0
+            while rem % f == 0:
+                rem //= f
+                cnt += 1
+            if cnt % 2:
+                free *= f
+            f += 1
+        if rem > 1:
+            free *= rem
+        n *= free
+    return n

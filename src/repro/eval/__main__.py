@@ -31,7 +31,8 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=["table-8.1", "table-8.2", "figure-8.1", "figure-8.2",
                  "figure-8.3", "figure-8.4", "diffstats", "ablations", "phases",
-                 "chaos", "check", "bench", "fuzz", "proc", "serve", "cost"],
+                 "chaos", "check", "bench", "fuzz", "proc", "serve", "cost",
+                 "profile"],
     )
     ap.add_argument("--classes", default="A,B", help="comma list of NAS classes")
     ap.add_argument("--procs", default="4,9,16,25", help="comma list of processor counts")
@@ -111,6 +112,12 @@ def main(argv: list[str] | None = None) -> int:
                     help="serve: write per-job results as JSON to FILE")
     ap.add_argument("--workers", type=int, default=4,
                     help="serve: concurrent compile worker processes")
+    ap.add_argument("--prewarm", default=None, choices=["nas"],
+                    help="serve: compile the built-in NAS/paper kernel jobs "
+                         "(declared grids plus a wildcard-grid rank sweep "
+                         "over --procs) instead of reading --jobs")
+    ap.add_argument("--profile-class", default="W", choices=["S", "W", "A", "B"],
+                    help="profile: NAS class sizing the compiled kernel")
     args = ap.parse_args(argv)
 
     classes = tuple(args.classes.split(","))
@@ -239,14 +246,17 @@ def main(argv: list[str] | None = None) -> int:
         plan_cache = PlanCache(PlanCacheConfig(
             directory=tempfile.mkdtemp(prefix="repro-diffstats-plans-")
         ))
+        from ..isets import profiled
+
         with use_cache(plan_cache):
-            for name, src, np_, params in compiles:
-                budget = IsetBudget()
-                budgets.append((name, budget))
-                try:
-                    compile_kernel(src, nprocs=np_, params=params, budget=budget)
-                except CodegenUnsupported:
-                    pass
+            with profiled("diffstats compiles (budgeted, cache-bypassing)") as prof:
+                for name, src, np_, params in compiles:
+                    budget = IsetBudget()
+                    budgets.append((name, budget))
+                    try:
+                        compile_kernel(src, nprocs=np_, params=params, budget=budget)
+                    except CodegenUnsupported:
+                        pass
             # the budgeted compiles above bypass the cache (an explicit
             # budget is observing analysis cost), so run one cold
             # populate pass, then two warm passes: once against the
@@ -264,12 +274,29 @@ def main(argv: list[str] | None = None) -> int:
         print("\niset operation caches (over the three compiles above):")
         print(
             f"  constraint interning: {c['constraint_hits']} hits / "
-            f"{c['constraint_misses']} misses ({c['constraint_hit_rate']:.1%})"
+            f"{c['constraint_misses']} misses ({c['constraint_hit_rate']:.1%}), "
+            f"{c['constraint_cross_hits']} cross-kernel"
         )
         print(
             f"  emptiness memo:       {c['empty_hits']} hits / "
-            f"{c['empty_misses']} misses ({c['empty_hit_rate']:.1%})"
+            f"{c['empty_misses']} misses ({c['empty_hit_rate']:.1%}), "
+            f"{c['empty_cross_hits']} cross-kernel, "
+            f"{c['empty_fast']} interval fast-path"
         )
+        print(
+            f"  subsumption memo:     {c['subsume_hits']} hits / "
+            f"{c['subsume_misses']} misses ({c['subsume_hit_rate']:.1%})"
+        )
+        print(
+            f"  enumeration:          {c['enum_fast']} box fast-path / "
+            f"{c['enum_scan']} lattice scans"
+        )
+        print("\nper-phase compile profile (wall seconds + counter deltas):")
+        print("  " + prof.report().replace("\n", "\n  "))
+        # counters reset between accounting stages so each section is
+        # deterministic in isolation (the traced run below re-derives its
+        # plan against warm caches otherwise)
+        reset_caches()
         print("\niset resource budgets (weighted ops / peak disjuncts):")
         for name, budget in budgets:
             b = budget.as_dict()
@@ -353,20 +380,64 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(format_proc(report))
         return 0 if report.ok else 1
+    elif args.target == "profile":
+        import tempfile
+
+        from ..codegen import compile_kernel
+        from ..compile import PlanCache, PlanCacheConfig, use_cache
+        from ..isets import profiled, reset_caches
+        from ..nas import kernels as nas_kernels
+        from ..nas.classes import CLASSES
+
+        ncls = CLASSES[args.profile_class]
+        n = ncls.problem_size
+        base = (nas_kernels.COMPUTE_RHS_SP if args.bench == "sp"
+                else nas_kernels.COMPUTE_RHS_BT)
+        src = nas_kernels.scaled(base)
+        params = {"n": n, "nx": n}
+        fanout = 9 if args.bench == "sp" else 27
+        if fanout == args.nprocs:
+            fanout = 4 if args.bench == "sp" else 8
+        cache = PlanCache(PlanCacheConfig(
+            directory=tempfile.mkdtemp(prefix="repro-profile-plans-")
+        ))
+        reset_caches()
+        label = f"{args.bench} compute_rhs class {ncls.name}"
+        with use_cache(cache):
+            with profiled(f"{label} @{args.nprocs} ranks (cold)") as cold:
+                compile_kernel(src, nprocs=args.nprocs, params=params)
+            print(cold.report())
+            # The selection tier is keyed without nprocs: a second rank
+            # count pays only specialization (comm analysis) + codegen.
+            with profiled(
+                f"{label} @{fanout} ranks (selection-tier hit)"
+            ) as warm:
+                compile_kernel(src, nprocs=fanout, params=params)
+            print()
+            print(warm.report())
     elif args.target == "serve":
         import json
 
-        from ..compile.driver import CompileJob, compile_many
+        from ..compile.driver import CompileJob, compile_many, prewarm_jobs
         from ..nas import kernels as nas_kernels
         from .bench import atomic_write_text
 
-        if not args.jobs:
+        if args.prewarm:
+            specs = [
+                {
+                    "source": j.source, "nprocs": j.nprocs, "params": j.params,
+                    "backend": j.backend, "strict": j.strict, "label": j.label,
+                }
+                for j in prewarm_jobs(args.prewarm, procs=procs)
+            ]
+        elif not args.jobs:
             print("serve needs --jobs FILE (a JSON list of job objects; "
                   "each has source or kernel, plus nprocs/params/backend/"
-                  "strict/label)")
+                  "strict/label) or --prewarm nas")
             return 2
-        with open(args.jobs) as fh:
-            specs = json.load(fh)
+        else:
+            with open(args.jobs) as fh:
+                specs = json.load(fh)
         jobs = []
         for i, spec in enumerate(specs):
             source = spec.get("source")

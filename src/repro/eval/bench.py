@@ -287,6 +287,72 @@ def bench_class_w_smoke(repeat: int = 1, cache_mode: str = "off") -> dict:
     }
 
 
+def bench_class_a_scaling(
+    procs: tuple[int, ...] = (16, 25), nas_class: str = "A"
+) -> dict:
+    """NAS SP ``compute_rhs`` at class-A size (64^3) across a rank sweep.
+
+    Compiles the wildcard-grid kernel through the plan cache — the first
+    count pays selection + specialization, every later count only
+    specialization (the rank-symbolic selection is shared) — then runs
+    the shmem target on the virtual machine at each count and
+    fingerprints the shared global arrays.  Every rank count must produce
+    bitwise-identical data: the decomposition changes, the answer must
+    not.
+    """
+    import hashlib
+
+    from ..compile.cache import PlanCache, PlanCacheConfig
+    from ..compile.pipeline import cached_compile
+    from ..diag import DiagnosticSink
+    from ..nas import kernels
+    from ..nas.classes import CLASSES
+
+    n = CLASSES[nas_class].problem_size
+    src = kernels.scaled(kernels.COMPUTE_RHS_SP)
+    params = {"n": n, "nx": n}
+    scalars = {"c1c2": 0.7, "c2": 0.2, "dt": 0.015, "n": n}
+    cache = PlanCache(PlanCacheConfig(directory=None))  # hermetic, in-memory
+    rows: list[dict] = []
+    digests: set[str] = set()
+    for np_ in procs:
+        before = cache.stats.snapshot()
+        t0 = time.perf_counter()
+        ck = cached_compile(
+            src, np_, params, "vector", DiagnosticSink(strict=True), None,
+            cache,
+        )
+        compile_s = time.perf_counter() - t0
+        init = _seed_init(ck, {"u": (4, 20.0)})
+        t0 = time.perf_counter()
+        shared = ck.run_shmem(scalars, init=lambda A: init(0, A))
+        run_s = time.perf_counter() - t0
+        h = hashlib.sha256()
+        checksum = 0.0
+        for name in sorted(shared):
+            h.update(shared[name].data.tobytes())
+            checksum += float(np.abs(shared[name].data).sum())
+        digests.add(h.hexdigest())
+        rows.append({
+            "nprocs": np_,
+            "grid": list(ck.grid.shape),
+            "compile_s": round(compile_s, 3),
+            "run_s": round(run_s, 3),
+            "checksum": checksum,
+            "arrays_sha256": h.hexdigest(),
+            "cache": cache.stats.delta(before),
+        })
+    return {
+        "kernel": "sp compute_rhs (wildcard grid)",
+        "class": nas_class,
+        "n": n,
+        "backend": "vector",
+        "target": "shmem",
+        "rows": rows,
+        "bitwise_consistent": len(digests) == 1,
+    }
+
+
 @dataclass
 class BenchReport:
     kernels: list[KernelResult] = field(default_factory=list)

@@ -29,10 +29,14 @@ from .core import (
     IsetBudget,
     active_budget,
     cache_stats,
+    current_epoch,
     iset_budget,
+    new_epoch,
+    pool_info,
     reset_caches,
 )
 from .iset import ISet, box, universe, empty
+from .profile import CompileProfile, active_profile, phase, profiled
 from .relation import AffineMap
 
 __all__ = [
@@ -51,4 +55,11 @@ __all__ = [
     "BudgetExceeded",
     "iset_budget",
     "active_budget",
+    "pool_info",
+    "new_epoch",
+    "current_epoch",
+    "CompileProfile",
+    "profiled",
+    "phase",
+    "active_profile",
 ]

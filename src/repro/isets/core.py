@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 from contextlib import contextmanager
+from fractions import Fraction
 from math import ceil, floor
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -29,36 +30,89 @@ _MAX_CONSTRAINTS = 400
 
 class CacheStats:
     """Hit/miss counters for the hash-consed set caches (perf telemetry,
-    surfaced by ``python -m repro.eval diffstats`` and the bench harness)."""
+    surfaced by ``python -m repro.eval diffstats``, ``profile`` and the
+    bench harness).
 
-    __slots__ = ("constraint_hits", "constraint_misses", "empty_hits", "empty_misses")
+    ``*_cross_hits`` count reuse of pool entries created during an earlier
+    compilation epoch (see :func:`new_epoch`) — the cross-kernel share of
+    the hit traffic.  ``empty_fast`` counts emptiness decisions taken by
+    the single-variable interval fast path (no Fourier-Motzkin run);
+    ``enum_fast``/``enum_scan`` split point enumerations between the
+    product fast path and the recursive lattice scan.
+    """
+
+    __slots__ = (
+        "constraint_hits",
+        "constraint_misses",
+        "constraint_cross_hits",
+        "empty_hits",
+        "empty_misses",
+        "empty_cross_hits",
+        "empty_fast",
+        "subsume_hits",
+        "subsume_misses",
+        "enum_fast",
+        "enum_scan",
+    )
 
     def __init__(self) -> None:
         self.reset()
 
     def reset(self) -> None:
-        self.constraint_hits = 0
-        self.constraint_misses = 0
-        self.empty_hits = 0
-        self.empty_misses = 0
+        for field in self.__slots__:
+            setattr(self, field, 0)
 
     @staticmethod
     def _rate(hits: int, misses: int) -> float:
         total = hits + misses
         return hits / total if total else 0.0
 
+    def snapshot(self) -> dict:
+        """Raw counter values (for per-phase delta attribution)."""
+        return {field: getattr(self, field) for field in self.__slots__}
+
+    @staticmethod
+    def delta(after: Mapping[str, int], before: Mapping[str, int]) -> dict:
+        return {k: after[k] - before.get(k, 0) for k in after}
+
     def as_dict(self) -> dict:
         return {
             "constraint_hits": self.constraint_hits,
             "constraint_misses": self.constraint_misses,
             "constraint_hit_rate": self._rate(self.constraint_hits, self.constraint_misses),
+            "constraint_cross_hits": self.constraint_cross_hits,
             "empty_hits": self.empty_hits,
             "empty_misses": self.empty_misses,
             "empty_hit_rate": self._rate(self.empty_hits, self.empty_misses),
+            "empty_cross_hits": self.empty_cross_hits,
+            "empty_fast": self.empty_fast,
+            "subsume_hits": self.subsume_hits,
+            "subsume_misses": self.subsume_misses,
+            "subsume_hit_rate": self._rate(self.subsume_hits, self.subsume_misses),
+            "enum_fast": self.enum_fast,
+            "enum_scan": self.enum_scan,
         }
 
 
 CACHE_STATS = CacheStats()
+
+# ---------------------------------------------------------------------------
+# Cross-kernel memo pool
+#
+# The tables below are process-global and deliberately survive across
+# compilations: NAS kernels sharing subscript patterns (compute_rhs /
+# x_solve / y_solve / z_solve) intern structurally equal constraints and
+# prove emptiness of structurally equal basic sets, so one kernel's work
+# seeds the next one's.  All keys are *structural* (LinExpr value tuples,
+# BasicSet value-hashes over dims/exists/constraints), never object
+# identity.  Each table is bounded; on overflow the oldest half is evicted
+# (dict insertion order) instead of dropping the whole pool, so a long
+# compilation cannot wipe the entries its successors would reuse.
+#
+# ``new_epoch()`` stamps a compilation boundary; hits on entries created in
+# an earlier epoch are counted as cross-kernel reuse (CacheStats
+# ``*_cross_hits``) for the profile report.
+# ---------------------------------------------------------------------------
 
 # Hash-consing table: raw (LinExpr, is_eq) -> normalized Constraint.  Two
 # different raw expressions may normalize to equal constraints; the table is
@@ -69,9 +123,54 @@ _INTERN_MAX = 1 << 18
 
 # Value cache for BasicSet.is_empty keyed by set value (dims/exists/
 # constraints hash equality), so structurally identical sets built at
-# different times share one Fourier-Motzkin run.
-_EMPTY_CACHE: "dict[BasicSet, bool]" = {}
+# different times share one Fourier-Motzkin run.  Values are
+# ``(result, epoch)`` pairs for cross-kernel hit attribution.
+_EMPTY_CACHE: "dict[BasicSet, tuple[bool, int]]" = {}
 _EMPTY_MAX = 1 << 16
+
+# Memoized disjunct-subsumption verdicts: (smaller, larger) -> bool
+# ("every point of `smaller` is in `larger`").  Populated by the union /
+# difference normalization in :mod:`repro.isets.iset`.
+_SUBSUME_CACHE: "dict[tuple[BasicSet, BasicSet], bool]" = {}
+_SUBSUME_MAX = 1 << 16
+
+_EPOCH = 1
+
+
+def current_epoch() -> int:
+    """The active compilation epoch (see :func:`new_epoch`)."""
+    return _EPOCH
+
+
+def new_epoch() -> int:
+    """Mark a compilation boundary for cross-kernel hit attribution.
+
+    Called once per kernel compilation; pool entries remain valid across
+    epochs (keys are structural), only the hit accounting changes.
+    """
+    global _EPOCH
+    _EPOCH += 1
+    return _EPOCH
+
+
+def _evict_oldest_half(table: dict) -> None:
+    """Drop the least-recently-inserted half of a memo table (dicts keep
+    insertion order), preserving the newer — more likely live — entries."""
+    for key in list(itertools.islice(table, len(table) // 2)):
+        del table[key]
+
+
+def pool_info() -> dict:
+    """Sizes and bounds of the cross-kernel memo pool (profile report)."""
+    return {
+        "constraint_intern": len(_CONSTRAINT_INTERN),
+        "constraint_intern_max": _INTERN_MAX,
+        "empty_cache": len(_EMPTY_CACHE),
+        "empty_cache_max": _EMPTY_MAX,
+        "subsume_cache": len(_SUBSUME_CACHE),
+        "subsume_cache_max": _SUBSUME_MAX,
+        "epoch": _EPOCH,
+    }
 
 
 def cache_stats() -> CacheStats:
@@ -83,6 +182,7 @@ def reset_caches() -> None:
     """Drop the hash-consing tables and zero the counters (test isolation)."""
     _CONSTRAINT_INTERN.clear()
     _EMPTY_CACHE.clear()
+    _SUBSUME_CACHE.clear()
     CACHE_STATS.reset()
 
 
@@ -200,7 +300,7 @@ class Constraint:
     normalization.  This is purely a cache — equality stays structural.
     """
 
-    __slots__ = ("expr", "is_eq", "_hash")
+    __slots__ = ("expr", "is_eq", "_hash", "_epoch")
 
     def __new__(cls, expr: LinExpr, is_eq: bool):
         expr = LinExpr.of(expr)
@@ -208,14 +308,18 @@ class Constraint:
         cached = _CONSTRAINT_INTERN.get(key)
         if cached is not None:
             CACHE_STATS.constraint_hits += 1
+            if cached._epoch != _EPOCH:
+                CACHE_STATS.constraint_cross_hits += 1
+                cached._epoch = _EPOCH
             return cached
         CACHE_STATS.constraint_misses += 1
         if _ACTIVE_BUDGET is not None:
             _ACTIVE_BUDGET.charge_op()
         self = super().__new__(cls)
         self._normalize(expr, is_eq)
+        self._epoch = _EPOCH
         if len(_CONSTRAINT_INTERN) >= _INTERN_MAX:
-            _CONSTRAINT_INTERN.clear()
+            _evict_oldest_half(_CONSTRAINT_INTERN)
         _CONSTRAINT_INTERN[key] = self
         return self
 
@@ -560,16 +664,63 @@ class BasicSet:
         """
         cached = _EMPTY_CACHE.get(self)
         if cached is not None:
+            result, epoch = cached
             CACHE_STATS.empty_hits += 1
-            return cached
+            if epoch != _EPOCH:
+                CACHE_STATS.empty_cross_hits += 1
+                _EMPTY_CACHE[self] = (result, _EPOCH)
+            return result
         CACHE_STATS.empty_misses += 1
-        if _ACTIVE_BUDGET is not None:
-            _ACTIVE_BUDGET.charge_op(IsetBudget.EMPTY_WEIGHT)
-        result = self._is_empty_uncached()
+        quick = self._interval_empty()
+        if quick is not None:
+            # decided by per-variable rational intervals: charge like one
+            # constraint op, not a full Fourier-Motzkin run
+            CACHE_STATS.empty_fast += 1
+            if _ACTIVE_BUDGET is not None:
+                _ACTIVE_BUDGET.charge_op()
+            result = quick
+        else:
+            if _ACTIVE_BUDGET is not None:
+                _ACTIVE_BUDGET.charge_op(IsetBudget.EMPTY_WEIGHT)
+            result = self._is_empty_uncached()
         if len(_EMPTY_CACHE) >= _EMPTY_MAX:
-            _EMPTY_CACHE.clear()
-        _EMPTY_CACHE[self] = result
+            _evict_oldest_half(_EMPTY_CACHE)
+        _EMPTY_CACHE[self] = (result, _EPOCH)
         return result
+
+    def _interval_empty(self) -> bool | None:
+        """Emptiness by per-variable rational intervals, for sets whose
+        constraints each involve at most one variable.
+
+        On such systems Fourier-Motzkin (real shadow) reduces exactly to
+        intersecting each variable's rational bounds, so this returns the
+        same verdict as :meth:`_is_empty_uncached` without running
+        elimination.  Returns ``None`` (undecided) as soon as a constraint
+        couples two variables."""
+        lo: dict[str, Fraction] = {}
+        hi: dict[str, Fraction] = {}
+        for c in self.constraints:
+            if c.is_trivially_false():
+                return True
+            if c.is_trivially_true():
+                continue
+            vs = c.expr.vars()
+            if len(vs) != 1:
+                return None
+            (v,) = vs
+            a = c.expr.coeff(v)
+            val = Fraction(-c.expr.constant, a)
+            # a*v + r (>= or ==) 0  ->  v >= -r/a (a>0) | v <= -r/a (a<0)
+            if c.is_eq or a > 0:
+                if v not in lo or val > lo[v]:
+                    lo[v] = val
+            if c.is_eq or a < 0:
+                if v not in hi or val < hi[v]:
+                    hi[v] = val
+        for v, lo_v in lo.items():
+            if v in hi and lo_v > hi[v]:
+                return True
+        return False
 
     def _is_empty_uncached(self) -> bool:
         cons = list(self.constraints)
@@ -675,6 +826,15 @@ class BasicSet:
         leftover = sub.params()
         if leftover:
             raise KeyError(f"unbound parameters in enumerate_points(): {sorted(leftover)}")
+        ranges = _product_ranges(sub, self.dims)
+        if ranges == "empty":
+            CACHE_STATS.enum_fast += 1
+            return
+        if ranges is not None:
+            CACHE_STATS.enum_fast += 1
+            yield from itertools.product(*ranges)
+            return
+        CACHE_STATS.enum_scan += 1
         yield from _scan(sub, self.dims, {})
 
     def sample(self, params: Mapping[str, int] | None = None) -> tuple[int, ...] | None:
@@ -715,6 +875,102 @@ class BasicSet:
 
     def __hash__(self) -> int:
         return hash((self.dims, self.exists, frozenset(self.constraints)))
+
+
+def _product_ranges(
+    bs: BasicSet, dims: Sequence[str]
+) -> "list[range] | str | None":
+    """Per-dim iteration ranges when *bs* decomposes into independent
+    single-variable constraints (the common case for bound communication /
+    iteration sets), letting :meth:`BasicSet.enumerate_points` emit the
+    cross product directly instead of running one Fourier-Motzkin
+    projection per lattice prefix in :func:`_scan`.
+
+    Returns ``None`` when any constraint couples two variables (caller
+    falls back to the scan), the string ``"empty"`` when the set provably
+    has no points, or the list of ``range`` objects in *dims* order.
+    Faithful to the scan's observable behavior, including failure order:
+    a rational contradiction in *any* variable silences the enumeration
+    (the scan's very first ``bounds_of`` sees the projected contradiction
+    as a false constant), while an unbounded dim raises ``ValueError``
+    unless an earlier dim in tuple order already had an empty range.
+    """
+    int_lo: dict[str, int] = {}
+    int_hi: dict[str, int] = {}
+    rat_lo: dict[str, Fraction] = {}
+    rat_hi: dict[str, Fraction] = {}
+    gap: set[str] = set()  # non-divisible equality: integer-empty
+    dim_set = set(dims)
+    for c in bs.constraints:
+        if c.is_trivially_false():
+            return "empty"
+        if c.is_trivially_true():
+            continue
+        vs = c.expr.vars()
+        if len(vs) != 1:
+            return None
+        (v,) = vs
+        if v not in dim_set and v not in bs.exists:
+            return None
+        a = c.expr.coeff(v)
+        r = c.expr.constant
+        rval = Fraction(-r, a)
+        if c.is_eq or a > 0:
+            if v not in rat_lo or rval > rat_lo[v]:
+                rat_lo[v] = rval
+        if c.is_eq or a < 0:
+            if v not in rat_hi or rval < rat_hi[v]:
+                rat_hi[v] = rval
+        if c.is_eq:
+            # same divisibility test / floor division as bounds_of
+            if r % a != 0:
+                gap.add(v)
+                continue
+            val = -r // a
+            if v not in int_lo or val > int_lo[v]:
+                int_lo[v] = val
+            if v not in int_hi or val < int_hi[v]:
+                int_hi[v] = val
+        elif a > 0:  # a*v + r >= 0 -> v >= ceil(-r/a)
+            val = -(r // a)
+            if v not in int_lo or val > int_lo[v]:
+                int_lo[v] = val
+        else:  # v <= floor(r/(-a))
+            val = r // (-a)
+            if v not in int_hi or val < int_hi[v]:
+                int_hi[v] = val
+    for v, lo_v in rat_lo.items():
+        if v in rat_hi and lo_v > rat_hi[v]:
+            return "empty"
+    out: list[range] = []
+    for d in dims:
+        if d in gap:
+            return "empty"
+        lo = int_lo.get(d)
+        hi = int_hi.get(d)
+        if lo is not None and hi is not None and hi < lo:
+            return "empty"
+        if lo is None or hi is None:
+            raise ValueError(
+                f"dimension {d!r} is unbounded; cannot enumerate; set: {bs.pretty()}"
+            )
+        out.append(range(lo, hi + 1))
+    # existential variables: the scan's leaf check runs _exists_feasible on
+    # the residual system, which for independent single-variable constraints
+    # reduces to each existential having a satisfiable interval (with the
+    # same conservative accepts for unbounded / very wide ranges).
+    for e in bs.exists:
+        if e in gap:
+            return "empty"  # non-divisible equality: bounded search finds nothing
+        lo = int_lo.get(e)
+        hi = int_hi.get(e)
+        if lo is None or hi is None:
+            continue  # unbounded existential: conservative accept
+        if hi - lo > 10000:
+            continue  # too wide to search: conservative accept
+        if hi < lo:
+            return "empty"
+    return out
 
 
 def _scan(bs: BasicSet, dims: Sequence[str], fixed: dict[str, int]) -> Iterator[tuple[int, ...]]:

@@ -14,7 +14,15 @@ import itertools
 from math import ceil, floor
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from .core import BasicSet, Constraint, active_budget
+from .core import (
+    _SUBSUME_CACHE,
+    _SUBSUME_MAX,
+    _evict_oldest_half,
+    CACHE_STATS,
+    BasicSet,
+    Constraint,
+    active_budget,
+)
 from .terms import LinExpr, E
 
 #: inclusion–exclusion over box disjuncts is exponential in the disjunct
@@ -92,9 +100,9 @@ class ISet:
     # -- algebra -------------------------------------------------------------
     def union(self, other: "ISet") -> "ISet":
         other = self._coerce(other)
-        parts = list(self.parts) + list(other.parts)
+        parts = _coalesce(list(self.parts) + list(other.parts))
         if len(parts) > _MAX_DISJUNCTS:
-            parts = _coalesce(parts)[:_MAX_DISJUNCTS]
+            parts = parts[:_MAX_DISJUNCTS]
         return ISet(self.dims, parts)
 
     def intersect(self, other: "ISet") -> "ISet":
@@ -124,9 +132,9 @@ class ISet:
             new_result: list[BasicSet] = []
             for a in result:
                 new_result.extend(_subtract_basic(a, b))
-            result = [p for p in new_result if not p.is_empty()]
+            result = _coalesce([p for p in new_result if not p.is_empty()])
             if len(result) > _MAX_DISJUNCTS:
-                result = _coalesce(result)[:_MAX_DISJUNCTS]
+                result = result[:_MAX_DISJUNCTS]
         return ISet(self.dims, result)
 
     def is_empty(self) -> bool:
@@ -186,6 +194,20 @@ class ISet:
     def count(self, params: Mapping[str, int] | None = None) -> int:
         return len(self.points(params))
 
+    def _metered_count(self, params: Mapping[str, int] | None = None) -> int:
+        """Enumeration fallback for :meth:`cardinality`, charged against the
+        active :class:`~repro.isets.core.IsetBudget` (one op per 128 points)
+        so a pathological disjunct pile trips ``W-BUDGET`` instead of
+        enumerating unmetered."""
+        budget = active_budget()
+        if budget is None:
+            return self.count(params)
+        n = 0
+        for n, _ in enumerate(self.enumerate_points(params), 1):
+            if n % 128 == 0:
+                budget.charge_op()
+        return n
+
     def cardinality(self, params: Mapping[str, int] | None = None) -> int:
         """Exact number of integer points, computed in closed form when the
         set is a union of axis-aligned boxes (per-disjunct extent products
@@ -197,12 +219,12 @@ class ISet:
         for p in self.parts:
             ext = _box_extents(p, params)
             if ext is None:
-                return self.count(params)
+                return self._metered_count(params)
             if ext == "empty":
                 continue
             boxes.append(ext)
         if len(boxes) > _MAX_IE_BOXES:
-            return self.count(params)
+            return self._metered_count(params)
         # inclusion–exclusion over every non-empty subset of the boxes
         total = 0
         for k in range(1, len(boxes) + 1):
@@ -335,16 +357,46 @@ def _subtract_basic(a: BasicSet, b: BasicSet) -> list[BasicSet]:
     return out
 
 
+def _subsumed_by(p: BasicSet, q: BasicSet) -> bool:
+    """Provable containment ``p ⊆ q`` by cheap structural evidence only:
+    either ``q``'s constraint set is a subset of ``p``'s (every extra
+    constraint shrinks a conjunction), or both are concrete axis-aligned
+    boxes with ``q``'s ranges covering ``p``'s.  Verdicts are memoized in
+    the cross-kernel pool (the same disjunct pairs recur across the
+    incremental unions of coalescing and across kernels sharing subscript
+    patterns)."""
+    key = (p, q)
+    cached = _SUBSUME_CACHE.get(key)
+    if cached is not None:
+        CACHE_STATS.subsume_hits += 1
+        return cached
+    CACHE_STATS.subsume_misses += 1
+    if set(q.constraints) <= set(p.constraints) and q.exists == p.exists:
+        verdict = True
+    else:
+        pb = _box_extents(p, None)
+        if pb == "empty":
+            verdict = True  # the empty set is contained in anything
+        else:
+            qb = _box_extents(q, None)
+            verdict = (
+                isinstance(pb, list)
+                and isinstance(qb, list)
+                and all(ql <= pl and ph <= qh for (pl, ph), (ql, qh) in zip(pb, qb))
+            )
+    if len(_SUBSUME_CACHE) >= _SUBSUME_MAX:
+        _evict_oldest_half(_SUBSUME_CACHE)
+    _SUBSUME_CACHE[key] = verdict
+    return verdict
+
+
 def _coalesce(parts: list[BasicSet]) -> list[BasicSet]:
-    """Cheap coalescing: drop disjuncts provably contained in another."""
+    """Disjunct normalization: drop disjuncts provably contained in an
+    earlier one, so unions stop growing superlinearly.  Keeps the first
+    occurrence (survivor order is load-bearing for downstream covers)."""
     out: list[BasicSet] = []
     for p in parts:
-        absorbed = False
-        for q in out:
-            if set(q.constraints) <= set(p.constraints) and q.exists == p.exists:
-                absorbed = True  # p is a subset of q (more constraints = smaller)
-                break
-        if not absorbed:
+        if not any(_subsumed_by(p, q) for q in out):
             out.append(p)
     return out
 

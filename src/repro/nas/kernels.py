@@ -428,3 +428,21 @@ chpf$ independent, new(cv, rhoq)
 
 PAPER_KERNELS["exact_rhs"] = EXACT_RHS_SP
 PAPER_KERNELS["lhsx"] = LHSX_SP
+
+
+def scaled(source: str) -> str:
+    """Variant of *source* whose fixed PROCESSORS extents become wildcards.
+
+    The paper kernels pin their grids (``procs(2,2)``, ``procs(2,2,2)``)
+    to the configurations evaluated in §8; for rank-scaling studies the
+    same kernel text must compile at 4, 9, 16, 25, ... ranks.  Replacing
+    the extents with ``*`` lets the distribution builder factor the target
+    processor count near-square per grid dimension — and, because the
+    selection-tier plan cache is keyed without ``nprocs``, every count in
+    a sweep shares one rank-symbolic CP selection.
+    """
+    return (
+        source
+        .replace("procs(2,2,2)", "procs(*,*,*)")
+        .replace("procs(2,2)", "procs(*,*)")
+    )
