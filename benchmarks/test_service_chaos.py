@@ -1,0 +1,23 @@
+"""Crash-only compile-service smoke guard.
+
+One seed per chaos scenario (the seed rotates scenarios, so six seeds
+cover SIGKILL, SIGSTOP, cache corruption, ENOSPC, EIO, and the
+multi-process cache hammer): every surviving result must be bitwise
+identical to a fault-free compile, every failure typed, no worker
+orphaned, no cache tmp file leaked.  The full 25-seed sweep runs in the
+CI ``serve-chaos`` job; this guard keeps the invariants in the tier-1
+radius.
+"""
+
+from repro.compile.chaos import SCENARIOS, run_service_chaos
+
+
+def test_one_seed_per_scenario():
+    report = run_service_chaos(seeds=len(SCENARIOS))
+    assert report.ok, "\n".join(
+        r.describe() for r in report.results if not r.ok
+    )
+    assert {r.scenario for r in report.results} == set(SCENARIOS)
+    # the signal scenarios must actually have landed faults mid-compile
+    injected = {r.scenario: r.injected for r in report.results}
+    assert injected["kill"] > 0 and injected["stall"] > 0

@@ -10,8 +10,12 @@
   per-stage artifacts and warm-hit diagnostic replay.
 - :mod:`repro.compile.driver` — :func:`compile_many`, a supervised
   multi-process batch compiler with per-job timeouts.
+- :mod:`repro.compile.pool` — :class:`CompilePool`, the supervised
+  persistent worker pool (retry/backoff, quarantine, backpressure).
 - :mod:`repro.compile.service` — :class:`CompileService`
   (submit/poll/collect), the ``python -m repro.eval serve`` front door.
+- :mod:`repro.compile.chaos` — the service-level chaos harness behind
+  ``python -m repro.eval chaos --service``.
 """
 
 from .cache import (
@@ -40,13 +44,23 @@ __all__ = [
     "plan_cache_stats",
     "set_active_cache",
     "use_cache",
-    # driver/service are imported lazily to keep `import repro.compile`
-    # light; see repro.compile.driver / repro.compile.service
+    # driver/pool/service are imported lazily to keep
+    # `import repro.compile` light; see the submodules
     "compile_many",
     "CompileJob",
     "CompileOutcome",
+    "CompilePool",
+    "CompileQuarantined",
     "CompileService",
+    "PoolConfig",
+    "ServiceOverloaded",
+    "pool_stats",
 ]
+
+_POOL_NAMES = (
+    "CompilePool", "CompileQuarantined", "PoolConfig",
+    "ServiceOverloaded", "pool_stats",
+)
 
 
 def __getattr__(name):
@@ -54,6 +68,10 @@ def __getattr__(name):
         from . import driver
 
         return getattr(driver, name)
+    if name in _POOL_NAMES:
+        from . import pool
+
+        return getattr(pool, name)
     if name == "CompileService":
         from .service import CompileService
 

@@ -117,12 +117,59 @@ class PlanCache:
         self.stats = PlanCacheStats()
         self._lru: "OrderedDict[str, bytes]" = OrderedDict()
         self._lock = threading.Lock()
+        #: chaos/test hook: called as ``fault_hook(op, digest)`` at the top
+        #: of disk operations; an ``OSError`` it raises (ENOSPC, EIO, ...)
+        #: takes the same degraded path a real disk fault would
+        self.fault_hook = None
 
     # -- paths -------------------------------------------------------------
     def _path(self, digest: str) -> str | None:
         if self.config.directory is None:
             return None
         return os.path.join(self.config.directory, digest[:2], digest + ".plan")
+
+    def _generation_path(self) -> str | None:
+        if self.config.directory is None:
+            return None
+        return os.path.join(self.config.directory, "generation")
+
+    def _generation(self) -> int:
+        """Monotone clear() counter shared by every process on this cache
+        directory.  ``_disk_put`` reads it before and after its atomic
+        rename: a concurrent ``clear()`` bumps it, so a put that would
+        otherwise *resurrect* a just-cleared entry notices and removes
+        its own file instead."""
+        path = self._generation_path()
+        if path is None:
+            return 0
+        try:
+            with open(path, "rb") as fh:
+                return int(fh.read().strip() or 0)
+        except (OSError, ValueError):
+            return 0
+
+    def _bump_generation(self) -> None:
+        path = self._generation_path()
+        if path is None:
+            return
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(str(self._generation() + 1).encode())
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            with self._lock:
+                self.stats.io_errors += 1
 
     # -- lookup ------------------------------------------------------------
     def get(self, digest: str) -> bytes | None:
@@ -148,8 +195,15 @@ class PlanCache:
         if path is None or not os.path.exists(path):
             return None
         try:
+            if self.fault_hook is not None:
+                self.fault_hook("disk_get", digest)
             with open(path, "rb") as fh:
                 blob = fh.read()
+        except FileNotFoundError:
+            # a concurrent evictor (budget enforcement, clear()) unlinked
+            # the entry between the exists() check and the open — a plain
+            # miss, not an IO fault
+            return None
         except OSError:
             with self._lock:
                 self.stats.io_errors += 1
@@ -215,7 +269,10 @@ class PlanCache:
             + b" " + str(len(payload)).encode() + b"\n"
             + payload
         )
+        generation = self._generation()
         try:
+            if self.fault_hook is not None:
+                self.fault_hook("disk_put", digest)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=os.path.dirname(path), suffix=".tmp"
@@ -235,6 +292,15 @@ class PlanCache:
             with self._lock:
                 self.stats.io_errors += 1
             return
+        if self._generation() != generation:
+            # a clear() ran concurrently with this put; honoring it means
+            # this entry must not survive ("resurrection" would hand out a
+            # plan the caller explicitly invalidated)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return
         self._enforce_disk_budget()
 
     def _enforce_disk_budget(self) -> None:
@@ -247,6 +313,13 @@ class PlanCache:
         for path, size, _mtime in sorted(entries, key=lambda e: e[2]):
             try:
                 os.unlink(path)
+            except FileNotFoundError:
+                # a concurrent evictor (or clear()) already removed it —
+                # the bytes are gone either way
+                total -= size
+                if total <= self.config.max_disk_bytes:
+                    return
+                continue
             except OSError:
                 continue
             with self._lock:
@@ -288,13 +361,34 @@ class PlanCache:
             self._lru.clear()
 
     def clear(self) -> None:
-        """Drop both tiers (tests / explicit invalidation)."""
+        """Drop both tiers (tests / explicit invalidation).
+
+        The generation marker is bumped *before* the sweep: an in-flight
+        ``_disk_put`` in another thread or process re-checks it after its
+        atomic rename and removes its own entry, so a concurrent put can
+        never resurrect an entry this clear was supposed to remove."""
+        self._bump_generation()
         self.clear_lru()
         for path, _size, _mtime in self._disk_entries():
             try:
                 os.unlink(path)
             except OSError:
                 pass
+
+    def stray_tmp_files(self) -> list[str]:
+        """Leftover ``*.tmp`` files under the disk tier (there should be
+        none: writers unlink their temp file on every failure path — the
+        chaos harness asserts this after every fault scenario)."""
+        root = self.config.directory
+        if root is None or not os.path.isdir(root):
+            return []
+        out = []
+        for dirpath, _dirs, files in os.walk(root):
+            out.extend(
+                os.path.join(dirpath, name)
+                for name in files if name.endswith(".tmp")
+            )
+        return out
 
     def as_dict(self) -> dict:
         out = self.stats.as_dict()

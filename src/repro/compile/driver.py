@@ -230,6 +230,7 @@ def compile_many(
     timeout: Optional[float] = None,
     cache: Optional[PlanCache] = None,
     progress: Optional[Callable[[CompileOutcome], None]] = None,
+    pool=None,
 ) -> list[CompileOutcome]:
     """Compile every job, concurrently, under supervision.
 
@@ -240,8 +241,18 @@ def compile_many(
     ``progress`` is called with each :class:`CompileOutcome` as it
     resolves.  Returns outcomes in input order; failures are typed on the
     outcome, never raised — a poisoned job cannot kill the batch.
+
+    ``pool`` routes the batch through a persistent
+    :class:`~repro.compile.pool.CompilePool` instead of forking one
+    worker per distinct plan key — same outcome contract, plus the
+    pool's retry/quarantine/backpressure policies and amortized forks
+    (``workers``/``timeout``/``cache`` are then the pool's, and the
+    keyword arguments here are ignored except ``timeout``/``progress``).
     """
     import multiprocessing as mp
+
+    if pool is not None:
+        return pool.run_batch(list(jobs), timeout=timeout, progress=progress)
 
     jobs = list(jobs)
     if workers is None:

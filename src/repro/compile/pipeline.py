@@ -57,10 +57,20 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
 from ..diag import DiagnosticSink
+from ..ir.stmt import reset_sids
 from ..isets.core import new_epoch
 from ..isets.profile import phase as profile_phase
 from .cache import PlanCache
 from .key import PlanKey
+
+
+def _seed_sids(sub) -> None:
+    """Point the thread-local sid allocator just past *sub*'s highest
+    sid (deterministic resumption for warm-artifact compilations)."""
+    from ..ir.visit import walk_stmts
+
+    top = max((s.sid for s in walk_stmts(sub.body)), default=0)
+    reset_sids(top + 1)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..codegen.spmd import CompiledKernel
@@ -363,10 +373,18 @@ def build_kernel(
     if sub is None and (analysis is None or lenient):
         # (skipped entirely on a strict selection-tier hit — the artifact
         # carries its own analyzed Subroutine)
+        if isinstance(source_or_sub, str):
+            # fresh parse: sids 1..N regardless of process history (IR
+            # passed in directly keeps its caller-assigned sids)
+            reset_sids()
         with profile_phase("parse"):
             sub = stage_parse(source_or_sub, sink)
         if record is not None and not lenient:
             record.parse_payload = _dumps(ParseArtifact(sub=sub))
+    # resume the sid allocator after the highest sid in play, so
+    # statements created by later transforms (loop distribution,
+    # inlining, interchange) number identically warm and cold
+    _seed_sids(analysis.sub if sub is None and analysis is not None else sub)
     if not lenient:
         if analysis is None:
             selart = stage_select(sub, params) if budget is None else None
@@ -483,6 +501,7 @@ def cached_compile(
             aart = _loads(apayload)
             if isinstance(aart, SelectionArtifact):
                 new_epoch()
+                _seed_sids(aart.sub)
                 try:
                     analysis = stage_specialize(aart, nprocs, params)
                 except Exception:

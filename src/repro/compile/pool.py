@@ -1,0 +1,938 @@
+"""Crash-only compile service core: a supervised persistent worker pool.
+
+:func:`repro.compile.driver.compile_many` forks one worker per distinct
+plan key — correct, but a fork per job, and a policy vacuum: no retry
+when a worker dies, no admission control, and a poisoned job costs a
+fresh crash on every submission.  This module keeps a fixed gang of
+long-lived forked compile workers and layers the service policies the
+ROADMAP's "heavy traffic" north star needs on top:
+
+- **persistence** — workers loop over a per-worker task queue, so a
+  thousand-job warm-up pays ``workers`` forks, not a thousand;
+- **supervision** — the same heartbeat/typed-error discipline as
+  :mod:`repro.runtime.procexec`: every worker beats from a daemon thread
+  into a shared slab, a stale beat means a *frozen* process (SIGSTOP,
+  kernel wedge) and is typed :class:`WorkerTimeout`, a death is typed
+  :class:`WorkerCrashed`, and either one respawns a replacement worker;
+- **retry + backoff** — a job whose worker crashed is retried up to
+  ``max_attempts`` times with exponential backoff and *deterministic
+  seeded jitter* (``Random(f"{seed}:{digest}:{attempt}")``), so two runs
+  of the same chaotic batch make the same scheduling decisions;
+- **quarantine** — a job that kills its worker ``max_attempts`` times is
+  quarantined: it resolves (and every later submission fails fast) with
+  a typed :class:`CompileQuarantined` carrying the full crash history,
+  and an ``E-QUARANTINE`` diagnostic.  One poisoned job can never starve
+  the queue or grind the pool through endless respawns;
+- **backpressure** — admission is bounded by ``max_queue`` distinct
+  pending compilations; past it, :meth:`CompilePool.submit` blocks
+  (``overload="block"``) or raises a typed :class:`ServiceOverloaded`
+  (``overload="reject"``).  Warm cache hits and coalesced duplicates are
+  admission-free — they never charge a queue slot or a worker;
+- **single-flight** — submissions coalesce by kernel digest across the
+  whole queue: a stampede of identical requests shares one build;
+- **graceful drain** — :meth:`shutdown` stops admission, finishes (or,
+  on request, cancels with a typed :class:`CompileCancelled`) queued
+  work, sends every worker its sentinel, and reaps all children.  No
+  exit path — clean, ``KeyboardInterrupt``, or parent death — leaves an
+  orphan: an ``atexit`` sweep backstops the parent, and workers exit on
+  their own when the parent disappears (they watch ``getppid``).
+
+Deterministic compile *errors* (the compiler raised — retrying cannot
+help) are reported by a live worker over the control queue as
+:class:`~repro.compile.driver.CompileFailed` and do **not** cost the
+worker its life or the job a retry.
+
+The pool is the engine behind :class:`repro.compile.service.CompileService`
+and ``compile_many(pool=...)``; ``python -m repro.eval chaos --service``
+drives it under seeded faults (:mod:`repro.compile.chaos`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import queue as _queue
+import random
+import signal
+import sys
+import threading
+import time
+import traceback
+import weakref
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..diag import E_QUARANTINE, I_RETRY, CompileDiagnostic, DiagnosticSink, Severity
+from ..runtime.procexec import (
+    ExecutorError,
+    ExecutorUnavailable,
+    WorkerCrashed,
+    WorkerTimeout,
+)
+from .cache import PlanCache, active_cache
+from .driver import CompileFailed, CompileJob, CompileOutcome
+from .pipeline import KernelArtifact, _loads, _replay
+
+
+# ---------------------------------------------------------------------------
+# typed service failures
+# ---------------------------------------------------------------------------
+
+class ServiceOverloaded(ExecutorError):
+    """Admission control rejected a submission: the pending-compile queue
+    is at ``max_queue`` and the pool was configured ``overload="reject"``.
+    Carries the queue depth at rejection time."""
+
+    def __init__(self, message: str, *, depth: int = 0, **kw):
+        super().__init__(message, **kw)
+        self.depth = depth
+
+
+class CompileQuarantined(ExecutorError):
+    """A poisoned job: it killed its worker ``max_attempts`` times and
+    will never be retried again.  ``history`` lists one entry per fatal
+    attempt (kind, detail, elapsed seconds)."""
+
+    def __init__(self, message: str, *, digest: str = "",
+                 history: "tuple[AttemptRecord, ...]" = (), **kw):
+        super().__init__(message, **kw)
+        self.digest = digest
+        self.history = history
+
+
+class CompileCancelled(ExecutorError):
+    """The job was still queued when the pool drained with
+    ``cancel_queued=True`` (SIGTERM path) or shut down without waiting."""
+
+
+class PoolClosed(ExecutorError):
+    """Submission after :meth:`CompilePool.shutdown` began."""
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One fatal attempt in a job's crash history."""
+
+    attempt: int
+    kind: str  # 'crash' | 'stall'
+    detail: str
+    elapsed: float
+
+    def describe(self) -> str:
+        return (f"attempt {self.attempt}: {self.kind} after "
+                f"{self.elapsed:.2f}s ({self.detail})")
+
+
+# ---------------------------------------------------------------------------
+# configuration and counters
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PoolConfig:
+    """Supervision and admission policy for one :class:`CompilePool`.
+
+    ``max_attempts`` bounds launches per job (first try + retries);
+    attempt ``k``'s backoff is
+    ``min(backoff_max, backoff_base * backoff_factor**(k-1))`` plus a
+    deterministic jitter in ``[0, backoff_base)`` seeded from
+    ``(jitter_seed, digest, k)``.  ``max_queue`` bounds *distinct*
+    admitted-but-unfinished compilations; ``overload`` picks the
+    backpressure policy at that bound (``"block"`` | ``"reject"``).
+    """
+
+    workers: int = 4
+    timeout: Optional[float] = None  # default per-job deadline (seconds)
+    heartbeat_interval: float = 0.1
+    heartbeat_timeout: float = 15.0
+    max_attempts: int = 3
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    jitter_seed: int = 0
+    max_queue: int = 64
+    overload: str = "block"
+    exit_grace: float = 2.0
+    poll_interval: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat interval/timeout must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff_base/backoff_factor out of range")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if self.overload not in ("block", "reject"):
+            raise ValueError(f"unknown overload policy {self.overload!r}")
+
+    def backoff(self, digest: str, attempt: int) -> float:
+        """Deterministic delay before retry *attempt* (2-based: the delay
+        applied after fatal attempt ``attempt - 1``)."""
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 2),
+        )
+        jitter = random.Random(
+            f"{self.jitter_seed}:{digest}:{attempt}"
+        ).uniform(0.0, self.backoff_base)
+        return base + jitter
+
+
+@dataclass
+class PoolStats:
+    """Service-level counters (surfaced by ``python -m repro.eval
+    diffstats`` next to the plan-cache counters)."""
+
+    submitted: int = 0
+    warm_hits: int = 0
+    coalesced: int = 0
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    crashes: int = 0
+    stalls: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    quarantine_rejections: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    forks: int = 0
+    respawns: int = 0
+    queue_depth: int = 0
+    peak_queue_depth: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            f.name: getattr(self, f.name)
+            for f in self.__dataclass_fields__.values()  # type: ignore[attr-defined]
+        }
+
+
+#: process-wide aggregate across every pool constructed in this process
+GLOBAL_STATS = PoolStats()
+
+
+def pool_stats() -> dict:
+    """Aggregate counters of every :class:`CompilePool` this process has
+    created (the ``eval diffstats`` surface)."""
+    return GLOBAL_STATS.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+def _pool_worker_main(wid: int, task_q, ctrl_q, hb, hb_interval: float) -> None:
+    """Loop of one persistent compile worker: take a job, build, report,
+    repeat.  A deterministic compile error is reported and the loop
+    continues — only the shutdown sentinel (or a lost parent) ends it."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    parent = os.getppid()
+    stop = threading.Event()
+
+    def _beat_loop() -> None:
+        while not stop.is_set():
+            hb[wid] = time.monotonic()
+            stop.wait(hb_interval)
+
+    threading.Thread(target=_beat_loop, daemon=True,
+                     name=f"pool-heartbeat-{wid}").start()
+    try:
+        while True:
+            try:
+                item = task_q.get(timeout=1.0)
+            except _queue.Empty:
+                if os.getppid() != parent:  # orphaned: parent died abruptly
+                    break
+                continue
+            except (EOFError, OSError):  # pragma: no cover - torn queue
+                break
+            if item is None:  # shutdown sentinel
+                break
+            seq, job = item
+            try:
+                # resolved at call time so a test/chaos harness that
+                # patched the build function before forking this worker
+                # (or before a respawn) is honored
+                from . import driver as _driver
+
+                payload = _driver._build_for_job(job)
+                ctrl_q.put(("done", wid, seq, payload))
+            except BaseException as exc:  # noqa: BLE001 - typed report
+                try:
+                    ctrl_q.put((
+                        "err", wid, seq, type(exc).__name__, str(exc),
+                        traceback.format_exc(),
+                    ))
+                except Exception:  # pragma: no cover - torn queue
+                    break
+    finally:
+        stop.set()
+    sys.exit(0)
+
+
+# ---------------------------------------------------------------------------
+# parent-side records
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PoolTicket:
+    """One admitted compilation (shared by every submission that
+    coalesced onto it).  States: ``queued`` → ``running`` (→ ``queued``
+    again on retry) → ``done`` | ``failed``."""
+
+    digest: str
+    job: CompileJob
+    state: str = "queued"
+    seq: int = 0
+    payload: Optional[bytes] = None
+    #: artifact already deserialized while validating a warm cache hit;
+    #: consumed (once) by the first waiter so a warm job costs a single
+    #: ``_loads`` — later waiters deserialize ``payload`` themselves
+    warm_art: Optional[object] = None
+    error: Optional[ExecutorError] = None
+    cached: bool = False
+    attempts: int = 0
+    history: "list[AttemptRecord]" = field(default_factory=list)
+    not_before: float = 0.0  # backoff gate (monotonic)
+    deadline: Optional[float] = None
+    submitted_at: float = 0.0
+    resolved_at: float = 0.0
+    waiters: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed")
+
+    @property
+    def elapsed(self) -> float:
+        if not self.done:
+            return 0.0
+        return max(self.resolved_at - self.submitted_at, 0.0)
+
+
+@dataclass
+class _Worker:
+    """One live pool worker and what it is doing."""
+
+    wid: int
+    proc: object
+    task_q: object
+    busy: Optional[str] = None  # digest in flight
+    started: float = 0.0  # when the in-flight job was dispatched
+    exit_seen: Optional[float] = None
+
+
+_LIVE_POOLS: "weakref.WeakSet[CompilePool]" = weakref.WeakSet()
+
+
+def _atexit_sweep() -> None:  # pragma: no cover - exercised on abrupt exit
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.shutdown(wait=False)
+        except Exception:
+            pass
+
+
+atexit.register(_atexit_sweep)
+
+
+# ---------------------------------------------------------------------------
+# the pool
+# ---------------------------------------------------------------------------
+
+class CompilePool:
+    """A supervised persistent worker pool for plan compilation.
+
+    Thread-safe.  ``cache`` defaults to the active plan cache; warm hits
+    resolve at submission without touching a worker.  Use as a context
+    manager or call :meth:`shutdown` — both drain gracefully.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PoolConfig] = None,
+        cache: Optional[PlanCache] = None,
+        use_active_cache: bool = True,
+    ):
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():  # pragma: no cover
+            raise ExecutorUnavailable(
+                "CompilePool needs the fork start method for its workers"
+            )
+        self.config = config or PoolConfig()
+        self.stats = PoolStats()
+        self._cache = cache if cache is not None else (
+            active_cache() if use_active_cache else None
+        )
+        self._ctx = mp.get_context("fork")
+        self._ctrl = self._ctx.Queue()
+        self._hb = self._ctx.Array("d", self.config.workers, lock=False)
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)  # ticket resolutions
+        self._space = threading.Condition(self._lock)  # admission slots
+        self._tickets: dict[str, PoolTicket] = {}
+        self._queue: list[str] = []  # admitted digests awaiting a worker
+        self._quarantine: dict[str, CompileQuarantined] = {}
+        self._workers: list[_Worker] = []
+        self._seq = 0
+        self._closed = False
+        self._stopped = False
+        now = time.monotonic()
+        for wid in range(self.config.workers):
+            self._hb[wid] = now
+            self._workers.append(self._spawn(wid))
+        self._supervisor = threading.Thread(
+            target=self._supervise, daemon=True, name="compile-pool"
+        )
+        self._supervisor.start()
+        _LIVE_POOLS.add(self)
+
+    # -- client surface ----------------------------------------------------
+    def submit(self, job: CompileJob, block: Optional[bool] = None) -> PoolTicket:
+        """Admit one compilation; returns its (possibly shared) ticket.
+
+        Resolution order: already-tracked digest → coalesce (no admission
+        charge); quarantined digest → instant typed failure; plan-cache
+        hit → instant warm ticket (no admission charge, no worker);
+        otherwise a queue slot is taken, blocking or raising a typed
+        :class:`ServiceOverloaded` at ``max_queue`` per the pool policy
+        (``block`` overrides it per call).  Raises :class:`PoolClosed`
+        after shutdown began.
+        """
+        digest = job.key().kernel_digest
+        blocking = self.config.overload == "block" if block is None else block
+        with self._lock:
+            self.stats.submitted += 1
+            GLOBAL_STATS.submitted += 1
+            if self._closed:
+                raise PoolClosed("compile pool is shut down")
+            ticket = self._share_locked(digest)
+            if ticket is not None:
+                return ticket
+            err = self._quarantine.get(digest)
+            if err is not None:
+                self.stats.quarantine_rejections += 1
+                GLOBAL_STATS.quarantine_rejections += 1
+                ticket = PoolTicket(
+                    digest=digest, job=job, state="failed", error=err,
+                    submitted_at=time.monotonic(),
+                    resolved_at=time.monotonic(),
+                )
+                self._tickets[digest] = ticket
+                return ticket
+        # cache probe outside the lock: disk IO must not stall the pool
+        payload = self._cache.get(digest) if self._cache is not None else None
+        art = _loads(payload) if payload is not None else None
+        if isinstance(art, KernelArtifact):
+            with self._lock:
+                ticket = self._tickets.get(digest)
+                if ticket is None or ticket.state == "failed":
+                    now = time.monotonic()
+                    ticket = PoolTicket(
+                        digest=digest, job=job, state="done",
+                        payload=payload, warm_art=art, cached=True,
+                        submitted_at=now, resolved_at=now,
+                    )
+                    self._tickets[digest] = ticket
+                    self.stats.warm_hits += 1
+                    GLOBAL_STATS.warm_hits += 1
+                return ticket
+        with self._space:
+            if self._closed:
+                raise PoolClosed("compile pool is shut down")
+            ticket = self._share_locked(digest)
+            if ticket is not None:
+                return ticket
+            while len(self._queue) >= self.config.max_queue:
+                if not blocking:
+                    self.stats.rejected += 1
+                    GLOBAL_STATS.rejected += 1
+                    raise ServiceOverloaded(
+                        f"compile queue is full "
+                        f"({len(self._queue)}/{self.config.max_queue} pending)",
+                        depth=len(self._queue),
+                    )
+                self._space.wait()
+                if self._closed:
+                    raise PoolClosed("compile pool is shut down")
+            ticket = PoolTicket(
+                digest=digest, job=job, submitted_at=time.monotonic(),
+            )
+            self._tickets[digest] = ticket
+            self._queue.append(digest)
+            depth = len(self._queue)
+            self.stats.queue_depth = depth
+            self.stats.peak_queue_depth = max(
+                self.stats.peak_queue_depth, depth
+            )
+            GLOBAL_STATS.peak_queue_depth = max(
+                GLOBAL_STATS.peak_queue_depth, depth
+            )
+            self._wake.notify_all()  # supervisor may be idle-waiting
+            return ticket
+
+    def wait(
+        self, ticket: PoolTicket, timeout: Optional[float] = None,
+    ) -> CompileOutcome:
+        """Block until *ticket* resolves; materialize a fresh
+        :class:`CompileOutcome` (every waiter gets its own deserialized
+        kernel and replayed diagnostic sink).  Raises ``TimeoutError``
+        if *timeout* seconds pass first."""
+        with self._wake:
+            if not self._wake.wait_for(lambda: ticket.done, timeout=timeout):
+                raise TimeoutError(
+                    f"compile {ticket.digest[:12]} still {ticket.state} "
+                    f"after {timeout}s"
+                )
+        return self._materialize(ticket)
+
+    def run_batch(
+        self,
+        jobs: "list[CompileJob]",
+        timeout: Optional[float] = None,
+        progress: Optional[Callable[[CompileOutcome], None]] = None,
+    ) -> "list[CompileOutcome]":
+        """The ``compile_many`` surface on pool workers: submit every job
+        (blocking admission — a batch never self-rejects), wait for all,
+        return outcomes in input order with ``shared`` marked on
+        duplicate-digest riders."""
+        tickets: list[PoolTicket] = []
+        for job in jobs:
+            if timeout is not None and job.timeout is None:
+                job = CompileJob(
+                    source=job.source, nprocs=job.nprocs, params=job.params,
+                    backend=job.backend, strict=job.strict, label=job.label,
+                    timeout=timeout,
+                )
+            tickets.append(self.submit(job, block=True))
+        outcomes: list[CompileOutcome] = []
+        first_of: dict[str, int] = {}
+        for i, (job, ticket) in enumerate(zip(jobs, tickets)):
+            out = self.wait(ticket)
+            out.job, out.index = job, i
+            out.shared = first_of.setdefault(ticket.digest, i) != i
+            outcomes.append(out)
+            if progress is not None:
+                progress(out)
+        return outcomes
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted compilation resolved.  True on
+        success, False if *timeout* expired first."""
+        with self._wake:
+            return self._wake.wait_for(
+                lambda: all(t.done for t in self._tickets.values()),
+                timeout=timeout,
+            )
+
+    def shutdown(self, wait: bool = True, cancel_queued: bool = False) -> None:
+        """Stop admission and wind the pool down.
+
+        ``wait=True`` (the default) finishes in-flight *and* queued work
+        first — unless ``cancel_queued``, which fails still-queued
+        tickets with a typed :class:`CompileCancelled` (the SIGTERM
+        drain policy: finish what a worker already started, shed the
+        rest).  ``wait=False`` cancels everything unresolved and kills
+        workers immediately.  Every path reaps all children.
+        """
+        with self._space:
+            if self._stopped:
+                return
+            self._closed = True
+            if cancel_queued or not wait:
+                self._cancel_queued_locked()
+            if not wait:
+                for ticket in self._tickets.values():
+                    if not ticket.done:
+                        self._resolve_failure_locked(ticket, CompileCancelled(
+                            f"pool shut down with compile "
+                            f"{ticket.digest[:12]} in flight"
+                        ))
+            self._space.notify_all()
+        if wait:
+            self.drain(timeout=None)
+        with self._lock:
+            self._stopped = True
+            workers = list(self._workers)
+        self._supervisor.join(timeout=10.0)
+        for w in workers:  # sentinel per worker: exit after current job
+            try:
+                w.task_q.put(None)
+            except Exception:  # pragma: no cover - torn queue
+                pass
+        deadline = time.monotonic() + (10.0 if wait else 2.0)
+        for w in workers:
+            w.proc.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if w.proc.exitcode is None:
+                _kill_pid(w.proc.pid)
+                w.proc.join(timeout=5.0)
+            try:
+                w.task_q.close()
+                w.task_q.join_thread()
+            except Exception:  # pragma: no cover - best-effort release
+                pass
+        try:
+            self._ctrl.close()
+            self._ctrl.join_thread()
+        except Exception:  # pragma: no cover - best-effort release
+            pass
+        _LIVE_POOLS.discard(self)
+
+    def __enter__(self) -> "CompilePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- introspection (chaos harness + tests) -----------------------------
+    def worker_pids(self) -> "list[int]":
+        with self._lock:
+            return [w.proc.pid for w in self._workers
+                    if w.proc.pid is not None]
+
+    def busy_pids(self) -> "list[int]":
+        """PIDs of workers with a job in flight right now."""
+        with self._lock:
+            return [w.proc.pid for w in self._workers
+                    if w.busy is not None and w.proc.pid is not None]
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # -- internals ---------------------------------------------------------
+    def _share_locked(self, digest: str) -> Optional[PoolTicket]:
+        """The existing ticket for *digest* if the submission should
+        coalesce onto it (anything but a retryable failure), else None.
+        Lock held."""
+        ticket = self._tickets.get(digest)
+        if ticket is None:
+            return None
+        quarantined = isinstance(ticket.error, CompileQuarantined)
+        if ticket.state == "failed" and not quarantined:
+            return None  # deterministic/timeout failure: allow resubmission
+        if not ticket.done:
+            self.stats.coalesced += 1
+            GLOBAL_STATS.coalesced += 1
+        elif quarantined:
+            self.stats.quarantine_rejections += 1
+            GLOBAL_STATS.quarantine_rejections += 1
+        ticket.waiters += 1
+        return ticket
+
+    def _spawn(self, wid: int) -> _Worker:
+        task_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(wid, task_q, self._ctrl, self._hb,
+                  self.config.heartbeat_interval),
+            daemon=True, name=f"compile-pool-{wid}",
+        )
+        self._hb[wid] = time.monotonic()
+        proc.start()
+        self.stats.forks += 1
+        GLOBAL_STATS.forks += 1
+        return _Worker(wid=wid, proc=proc, task_q=task_q)
+
+    def _materialize(self, ticket: PoolTicket) -> CompileOutcome:
+        out = CompileOutcome(job=ticket.job, index=0)
+        out.cached = ticket.cached
+        out.elapsed = ticket.elapsed
+        if ticket.error is not None:
+            out.error = ticket.error
+            if isinstance(ticket.error, CompileQuarantined):
+                out.sink.add(CompileDiagnostic(
+                    Severity.ERROR, E_QUARANTINE, str(ticket.error),
+                    pass_name="service",
+                ))
+            return out
+        assert ticket.payload is not None
+        with self._lock:  # first waiter consumes the submit-time artifact
+            art, ticket.warm_art = ticket.warm_art, None
+        if art is None:
+            art = _loads(ticket.payload)
+        if not isinstance(art, KernelArtifact):  # pragma: no cover - stale
+            out.error = CompileFailed(
+                "cached artifact failed to deserialize", etype="PickleError"
+            )
+            return out
+        sink = DiagnosticSink(strict=ticket.job.strict)
+        out.kernel = _replay(art.kernel, sink)
+        out.sink = sink
+        if ticket.history:
+            sink.info(
+                f"compiled after {len(ticket.history)} "
+                f"worker {'crashes' if len(ticket.history) > 1 else 'crash'}"
+                f" ({'; '.join(a.describe() for a in ticket.history)})",
+                code=I_RETRY, pass_name="service",
+            )
+        return out
+
+    # (the three _resolve/_cancel helpers run with self._lock held)
+    def _resolve_success_locked(self, ticket: PoolTicket, payload: bytes) -> None:
+        if ticket.done:  # a cancel/timeout raced the result; first wins
+            return
+        ticket.payload = payload
+        ticket.state = "done"
+        ticket.resolved_at = time.monotonic()
+        self.stats.completed += 1
+        GLOBAL_STATS.completed += 1
+        if ticket.history:
+            self.stats.retries += len(ticket.history)
+            GLOBAL_STATS.retries += len(ticket.history)
+        self._wake.notify_all()
+
+    def _resolve_failure_locked(
+        self, ticket: PoolTicket, error: ExecutorError,
+    ) -> None:
+        if ticket.done:
+            return
+        ticket.error = error
+        ticket.state = "failed"
+        ticket.resolved_at = time.monotonic()
+        self.stats.failed += 1
+        GLOBAL_STATS.failed += 1
+        self._wake.notify_all()
+
+    def _cancel_queued_locked(self) -> None:
+        for digest in self._queue:
+            ticket = self._tickets[digest]
+            self._resolve_failure_locked(ticket, CompileCancelled(
+                f"compile {digest[:12]} cancelled while queued "
+                f"(pool draining)"
+            ))
+            self.stats.cancelled += 1
+            GLOBAL_STATS.cancelled += 1
+        self._queue.clear()
+        self.stats.queue_depth = 0
+        self._space.notify_all()
+
+    def _fatal_attempt(
+        self, ticket: PoolTicket, kind: str, detail: str, now: float,
+    ) -> None:
+        """Worker-killing failure (crash or stall) of an in-flight job:
+        retry with backoff, or quarantine.  Lock held."""
+        ticket.history.append(AttemptRecord(
+            attempt=ticket.attempts, kind=kind, detail=detail,
+            elapsed=now - (ticket.submitted_at or now),
+        ))
+        counter = "crashes" if kind == "crash" else "stalls"
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        setattr(GLOBAL_STATS, counter, getattr(GLOBAL_STATS, counter) + 1)
+        if ticket.attempts >= self.config.max_attempts:
+            err = CompileQuarantined(
+                f"compile job {ticket.job.describe()} killed its worker "
+                f"{ticket.attempts} times and was quarantined "
+                f"[{'; '.join(a.describe() for a in ticket.history)}]",
+                digest=ticket.digest, history=tuple(ticket.history),
+            )
+            self._quarantine[ticket.digest] = err
+            self.stats.quarantined += 1
+            GLOBAL_STATS.quarantined += 1
+            self._resolve_failure_locked(ticket, err)
+            return
+        ticket.state = "queued"
+        ticket.not_before = now + self.config.backoff(
+            ticket.digest, ticket.attempts + 1
+        )
+        self._queue.append(ticket.digest)
+
+    def _supervise(self) -> None:
+        """Dispatch, collect, and police heartbeats/deadlines until the
+        pool stops.  Never raises: a supervision bug must not strand
+        waiters, so the loop body is defensively wrapped."""
+        while True:
+            with self._lock:
+                if self._stopped:
+                    return
+            try:
+                self._drain_ctrl(block=True)
+                self._dispatch()
+                self._police()
+            except Exception:  # pragma: no cover - defensive
+                traceback.print_exc(file=sys.stderr)
+                time.sleep(self.config.poll_interval)
+
+    def _drain_ctrl(self, block: bool) -> None:
+        first = True
+        while True:
+            try:
+                if block and first:
+                    msg = self._ctrl.get(timeout=self.config.poll_interval)
+                else:
+                    msg = self._ctrl.get_nowait()
+            except _queue.Empty:
+                return
+            except (EOFError, OSError):  # pragma: no cover - torn queue
+                return
+            finally:
+                first = False
+            kind, wid, seq = msg[0], msg[1], msg[2]
+            with self._lock:
+                worker = next(
+                    (w for w in self._workers if w.wid == wid), None
+                )
+                digest = worker.busy if worker is not None else None
+                ticket = self._tickets.get(digest) if digest else None
+                if (ticket is None or ticket.seq != seq
+                        or ticket.state != "running"):
+                    continue  # a stale result (timeout or retry raced it)
+                worker.busy = None
+                worker.exit_seen = None
+                self._space.notify_all()
+                if kind == "done":
+                    payload = msg[3]
+                else:
+                    _, _, _, etype, emsg, tb = msg
+                    self._resolve_failure_locked(ticket, CompileFailed(
+                        f"compilation raised {etype}: {emsg}",
+                        etype=etype, tb=tb,
+                    ))
+                    continue
+            # cache write outside the lock (disk IO)
+            if self._cache is not None:
+                self._cache.put(digest, payload)
+            with self._lock:
+                self._resolve_success_locked(ticket, payload)
+
+    def _dispatch(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if self._stopped:
+                return
+            idle = [w for w in self._workers
+                    if w.busy is None and w.proc.exitcode is None]
+            if not idle or not self._queue:
+                return
+            ready = [d for d in self._queue
+                     if self._tickets[d].not_before <= now]
+            for worker, digest in zip(idle, ready):
+                self._queue.remove(digest)
+                ticket = self._tickets[digest]
+                self._seq += 1
+                ticket.seq = self._seq
+                ticket.state = "running"
+                ticket.attempts += 1
+                per_job = (ticket.job.timeout
+                           if ticket.job.timeout is not None
+                           else self.config.timeout)
+                ticket.deadline = (
+                    None if per_job is None else now + per_job
+                )
+                worker.busy = digest
+                worker.started = now
+                try:
+                    worker.task_q.put((ticket.seq, ticket.job))
+                except Exception:  # pragma: no cover - torn queue
+                    worker.busy = None
+                    ticket.state = "queued"
+                    ticket.attempts -= 1
+                    self._queue.append(digest)
+                    continue
+            self.stats.queue_depth = len(self._queue)
+            self._space.notify_all()
+
+    def _police(self) -> None:
+        """Deadlines, heartbeats, and exits — replacing dead workers."""
+        now = time.monotonic()
+        kill: "list[tuple[_Worker, str, str]]" = []  # worker, kind, detail
+        with self._lock:
+            if self._stopped:
+                return
+            for w in self._workers:
+                ticket = self._tickets.get(w.busy) if w.busy else None
+                ec = w.proc.exitcode
+                if (ticket is not None and ticket.deadline is not None
+                        and now > ticket.deadline and ec is None):
+                    kill.append((w, "timeout",
+                                 f"{now - w.started:.1f}s elapsed"))
+                    continue
+                stale = now - float(self._hb[w.wid])
+                if ec is None and stale > self.config.heartbeat_timeout:
+                    kill.append((
+                        w, "stall",
+                        f"no heartbeat for {stale:.1f}s (frozen process)",
+                    ))
+                    continue
+                if ec is not None:
+                    if w.busy is None:
+                        kill.append((w, "idle-exit",
+                                     f"exited with code {ec}"))
+                        continue
+                    # exited with a job in flight: grace for a result
+                    # already on the control queue, then rule it a crash
+                    if w.exit_seen is None:
+                        w.exit_seen = now
+                    if ec == 0 and now - w.exit_seen < self.config.exit_grace:
+                        continue
+                    what = (f"killed by signal {-ec}" if ec < 0
+                            else f"exited with code {ec}" if ec
+                            else "exited cleanly without delivering")
+                    kill.append((w, "crash", what))
+        if not kill:
+            return
+        for w, kind, detail in kill:
+            _kill_pid(w.proc.pid)
+            w.proc.join(timeout=5.0)
+            with self._lock:
+                if self._stopped:
+                    return
+                ticket = self._tickets.get(w.busy) if w.busy else None
+                if ticket is not None and ticket.state == "running":
+                    if kind == "timeout":
+                        self.stats.timeouts += 1
+                        GLOBAL_STATS.timeouts += 1
+                        self._resolve_failure_locked(ticket, WorkerTimeout(
+                            f"compile job {ticket.job.describe()} exceeded "
+                            f"its deadline ({detail})",
+                        ))
+                    else:
+                        self._fatal_attempt(
+                            ticket,
+                            "stall" if kind == "stall" else "crash",
+                            detail, now,
+                        )
+                idx = self._workers.index(w)
+                self.stats.respawns += 1
+                GLOBAL_STATS.respawns += 1
+                self._workers[idx] = self._spawn(w.wid)
+                self._space.notify_all()
+            # release the dead worker's queue resources
+            try:
+                w.task_q.close()
+                w.task_q.join_thread()
+            except Exception:  # pragma: no cover - best-effort release
+                pass
+
+
+def _kill_pid(pid: Optional[int]) -> None:
+    """SIGKILL (works on SIGSTOPped processes too; a pool worker needs no
+    child-side cleanup — results are delivered atomically)."""
+    if pid is None:
+        return
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError):  # pragma: no cover
+        pass
+
+
+__all__ = [
+    "AttemptRecord",
+    "CompileCancelled",
+    "CompilePool",
+    "CompileQuarantined",
+    "GLOBAL_STATS",
+    "PoolClosed",
+    "PoolConfig",
+    "PoolStats",
+    "PoolTicket",
+    "ServiceOverloaded",
+    "pool_stats",
+]

@@ -1,8 +1,9 @@
 """The compilation-service front door: submit / poll / collect.
 
-:class:`CompileService` wraps :func:`repro.compile.driver.compile_many`
-in a long-lived submit/poll/collect surface — the programmatic shape of
-"millions of users submitting kernels":
+:class:`CompileService` is the programmatic shape of "millions of users
+submitting kernels" — and since PR 10 it runs on the supervised
+persistent worker pool (:mod:`repro.compile.pool`) instead of forking a
+fresh worker per batch:
 
     svc = CompileService(workers=4)
     ticket = svc.submit(source, nprocs=4, params={"n": 64})
@@ -12,44 +13,70 @@ in a long-lived submit/poll/collect surface — the programmatic shape of
     svc.shutdown()
 
 Tickets are plan keys: submitting the same source/params/nprocs/backend
-twice returns the same ticket, and a ticket stays collectable for the
-service's lifetime (results live in the plan cache, so even a fresh
-service resolves a previously-compiled ticket warm).  A background
-scheduler thread batches pending submissions through ``compile_many``,
-so distinct kernels compile concurrently and a poisoned submission
-fails only its own ticket.
+twice returns the same ticket, and the pool extends that dedupe across
+the whole queue (*single-flight*: a stampede of identical submissions
+shares one build, even while the first is still compiling).  Through the
+pool the service is crash-only:
 
-``python -m repro.eval serve`` is the CLI face of this class: it reads
-job specs from a JSON file, compiles them through a service, and writes
-one status/result line per job.
+- a submission whose worker dies is retried with seeded exponential
+  backoff; after ``max_attempts`` worker kills it is quarantined with a
+  typed :class:`~repro.compile.pool.CompileQuarantined` carrying the
+  crash history — one poisoned submission can never starve the queue;
+- admission is bounded: past ``max_queue`` pending compilations,
+  ``submit`` blocks (``overload="block"``) or raises a typed
+  :class:`~repro.compile.pool.ServiceOverloaded` (``"reject"``);
+- warm plan-cache hits resolve at submission without charging a queue
+  slot or a worker;
+- ``shutdown(wait=True)`` stops admission, finishes in-flight and queued
+  work (``cancel_queued=True`` sheds the queue with typed
+  :class:`~repro.compile.pool.CompileCancelled` failures instead — the
+  SIGTERM drain policy), and reaps every worker.  No exit path leaves an
+  orphan process.
+
+``python -m repro.eval serve`` is the CLI face: it reads job specs from
+a JSON file, compiles them through the service (``--pool``) or the
+fork-per-job driver, drains gracefully on SIGTERM, and exits nonzero
+iff any job failed.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Optional
 
 from .cache import PlanCache, active_cache
-from .driver import CompileJob, CompileOutcome, compile_many
+from .driver import CompileJob, CompileOutcome
+from .pool import (
+    CompileCancelled,
+    CompilePool,
+    CompileQuarantined,
+    PoolConfig,
+    PoolTicket,
+    ServiceOverloaded,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..codegen.spmd import CompiledKernel
 
 
-@dataclass
 class Ticket:
     """Handle for one submission: the job, its plan digest, and state
-    (``pending`` → ``running`` → ``done`` | ``failed``)."""
+    (``queued`` → ``running`` → ``done`` | ``failed``; a retry bounces a
+    ticket back to ``queued``)."""
 
-    digest: str
-    job: CompileJob
-    state: str = "pending"
+    def __init__(self, digest: str, job: CompileJob, pticket: PoolTicket):
+        self.digest = digest
+        self.job = job
+        self._pticket = pticket
+
+    @property
+    def state(self) -> str:
+        return self._pticket.state
 
     @property
     def done(self) -> bool:
         """True once the submission reached a terminal state."""
-        return self.state in ("done", "failed")
+        return self._pticket.done
 
 
 class ServiceClosed(RuntimeError):
@@ -59,10 +86,12 @@ class ServiceClosed(RuntimeError):
 class CompileService:
     """Submit sources for compilation; poll and collect kernels.
 
-    Thread-safe.  ``workers`` bounds concurrent compile processes,
-    ``timeout`` is the default per-job deadline, and ``cache`` defaults
-    to the active plan cache (results persist across service instances
-    through it).
+    Thread-safe.  ``workers`` sizes the persistent worker pool,
+    ``timeout`` is the default per-job deadline, ``cache`` defaults to
+    the active plan cache (results persist across service instances
+    through it), ``max_queue``/``overload`` set the admission policy,
+    and ``pool_config`` overrides the whole supervision policy at once
+    (retry/backoff/quarantine/heartbeat knobs).
     """
 
     def __init__(
@@ -70,20 +99,23 @@ class CompileService:
         workers: int = 4,
         timeout: Optional[float] = None,
         cache: Optional[PlanCache] = None,
+        max_queue: int = 64,
+        overload: str = "block",
+        pool_config: Optional[PoolConfig] = None,
     ):
-        self._workers = workers
-        self._timeout = timeout
-        self._cache = cache if cache is not None else active_cache()
-        self._lock = threading.Lock()
-        self._wake = threading.Condition(self._lock)
-        self._tickets: dict[str, Ticket] = {}
-        self._outcomes: dict[str, CompileOutcome] = {}
-        self._pending: list[str] = []
-        self._closed = False
-        self._thread = threading.Thread(
-            target=self._scheduler, daemon=True, name="compile-service"
+        if pool_config is None:
+            pool_config = PoolConfig(
+                workers=workers, timeout=timeout,
+                max_queue=max_queue, overload=overload,
+            )
+        self._pool = CompilePool(
+            pool_config,
+            cache=cache if cache is not None else active_cache(),
+            use_active_cache=False,
         )
-        self._thread.start()
+        self._lock = threading.Lock()
+        self._tickets: dict[str, Ticket] = {}
+        self._closed = False
 
     # -- client surface ----------------------------------------------------
     def submit(
@@ -98,24 +130,27 @@ class CompileService:
     ) -> Ticket:
         """Enqueue one compilation; returns its :class:`Ticket`.
 
-        Identical submissions (same plan key) coalesce onto one ticket.
+        Identical submissions (same plan key) coalesce onto one ticket —
+        including while the first is still building (single-flight).
+        Raises :class:`ServiceClosed` after shutdown, and (under the
+        ``"reject"`` admission policy, queue full) a typed
+        :class:`~repro.compile.pool.ServiceOverloaded`.
         """
         job = CompileJob(
             source=source, nprocs=nprocs, params=dict(params or {}),
             backend=backend, strict=strict, label=label, timeout=timeout,
         )
         digest = job.key().kernel_digest
-        with self._wake:
+        with self._lock:
             if self._closed:
                 raise ServiceClosed("service is shut down")
-            ticket = self._tickets.get(digest)
-            if ticket is None or (
-                ticket.state == "failed" and digest not in self._pending
-            ):
-                ticket = Ticket(digest=digest, job=job)
-                self._tickets[digest] = ticket
-                self._pending.append(digest)
-                self._wake.notify()
+            known = self._tickets.get(digest)
+        pticket = self._pool.submit(job)
+        with self._lock:
+            if known is not None and known._pticket is pticket:
+                return known
+            ticket = Ticket(digest, job, pticket)
+            self._tickets[digest] = ticket
             return ticket
 
     def poll(self, ticket: Ticket) -> Ticket:
@@ -131,16 +166,7 @@ class CompileService:
         Raises ``TimeoutError`` if *timeout* seconds pass first; a failed
         compilation returns normally with ``outcome.error`` set.
         """
-        with self._wake:
-            if not self._wake.wait_for(
-                lambda: ticket.digest in self._outcomes, timeout=timeout
-            ):
-                raise TimeoutError(
-                    f"ticket {ticket.digest[:12]} still "
-                    f"{self._tickets[ticket.digest].state} "
-                    f"after {timeout}s"
-                )
-            return self._outcomes[ticket.digest]
+        return self._pool.wait(ticket._pticket, timeout=timeout)
 
     def compile(self, *args, **kw) -> "CompiledKernel":
         """Synchronous convenience: submit + collect; raises the typed
@@ -151,14 +177,25 @@ class CompileService:
         assert out.kernel is not None
         return out.kernel
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting submissions and stop the scheduler.  With
-        ``wait`` (default) the in-flight batch finishes first."""
-        with self._wake:
+    def stats(self) -> dict:
+        """The pool's service-level counters (queue depth, rejections,
+        retries, quarantines, forks, ...)."""
+        return self._pool.stats.as_dict()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted compilation resolved (admission
+        stays open).  True on success, False on *timeout*."""
+        return self._pool.drain(timeout=timeout)
+
+    def shutdown(self, wait: bool = True, cancel_queued: bool = False) -> None:
+        """Stop accepting submissions and wind the pool down.  With
+        ``wait`` (default) in-flight and queued jobs finish first;
+        ``cancel_queued`` sheds still-queued jobs with typed
+        :class:`~repro.compile.pool.CompileCancelled` failures instead
+        (the SIGTERM drain policy).  All workers are reaped."""
+        with self._lock:
             self._closed = True
-            self._wake.notify_all()
-        if wait:
-            self._thread.join(timeout=300.0)
+        self._pool.shutdown(wait=wait, cancel_queued=cancel_queued)
 
     def __enter__(self) -> "CompileService":
         return self
@@ -166,33 +203,12 @@ class CompileService:
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
-    # -- scheduler ---------------------------------------------------------
-    def _scheduler(self) -> None:
-        while True:
-            with self._wake:
-                self._wake.wait_for(lambda: self._pending or self._closed)
-                if not self._pending:
-                    if self._closed:
-                        return
-                    continue  # pragma: no cover - spurious wakeup
-                batch = self._pending
-                self._pending = []
-                for digest in batch:
-                    self._tickets[digest].state = "running"
-                jobs = [self._tickets[d].job for d in batch]
-            outs = compile_many(
-                jobs, workers=self._workers, timeout=self._timeout,
-                cache=self._cache,
-            )
-            with self._wake:
-                for digest, out in zip(batch, outs):
-                    self._outcomes[digest] = out
-                    self._tickets[digest].state = (
-                        "done" if out.ok else "failed"
-                    )
-                self._wake.notify_all()
-                if self._closed and not self._pending:
-                    return
 
-
-__all__ = ["CompileService", "ServiceClosed", "Ticket"]
+__all__ = [
+    "CompileCancelled",
+    "CompileQuarantined",
+    "CompileService",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "Ticket",
+]

@@ -27,6 +27,10 @@ Diagnostic codes are stable strings (the fuzzer and CI assert on them):
 ``E-CONFIG``    inconsistent distribution directives / grid configuration
 ``W-BUDGET``    an iset resource budget tripped; conservative path taken
 ``I-FALLBACK``  a statement/nest degraded to replicated execution
+``I-RETRY``     a compile succeeded after its worker crashed and the
+                service retried it (carries the crash history)
+``E-QUARANTINE`` a compile job killed its worker repeatedly and was
+                quarantined by the service (never retried again)
 ==============  ============================================================
 """
 
@@ -59,6 +63,8 @@ E_CONFIG = "E-CONFIG"
 W_BUDGET = "W-BUDGET"
 I_FALLBACK = "I-FALLBACK"
 I_NOTRACE = "I-NOTRACE"  # a requested trace is unavailable on this executor
+I_RETRY = "I-RETRY"  # the compile service retried a crashed worker's job
+E_QUARANTINE = "E-QUARANTINE"  # a poisoned job was quarantined by the service
 
 
 @dataclass(frozen=True)

@@ -70,8 +70,10 @@ def main(argv: list[str] | None = None) -> int:
                     help="bench: skip the functional dHPF class-S runs")
     ap.add_argument("--skip-class-w", action="store_true",
                     help="bench: skip the class-W vector smoke")
-    ap.add_argument("--seeds", type=int, default=300,
-                    help="fuzz: number of random programs to generate")
+    ap.add_argument("--seeds", type=int, default=None,
+                    help="fuzz: number of random programs to generate "
+                         "(default 300); chaos --service: number of seeded "
+                         "fault scenarios (default 25)")
     ap.add_argument("--start-seed", type=int, default=0,
                     help="fuzz: first seed (corpus is deterministic per seed)")
     ap.add_argument("--no-shrink", action="store_true",
@@ -82,6 +84,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--real-process", action="store_true",
                     help="chaos: SIGKILL/SIGSTOP live workers of the "
                          "real-process backend instead of simulated faults")
+    ap.add_argument("--service", action="store_true",
+                    help="chaos: fault the compile service instead (seeded "
+                         "worker kills/stalls, cache corruption, disk "
+                         "faults, concurrent writers)")
     ap.add_argument("--timeout", type=float, default=None, metavar="S",
                     help="overall wall-clock budget per run in host seconds "
                          "(chaos/proc; typed ExecutorTimeout on expiry)")
@@ -112,6 +118,18 @@ def main(argv: list[str] | None = None) -> int:
                     help="serve: write per-job results as JSON to FILE")
     ap.add_argument("--workers", type=int, default=4,
                     help="serve: concurrent compile worker processes")
+    ap.add_argument("--pool", action="store_true",
+                    help="serve: compile through the persistent supervised "
+                         "worker pool (retry/backoff, quarantine, bounded "
+                         "queue, graceful SIGTERM drain) instead of forking "
+                         "one worker per job")
+    ap.add_argument("--max-queue", type=int, default=64,
+                    help="serve --pool: admission bound (distinct pending "
+                         "compilations)")
+    ap.add_argument("--throughput", default=None, metavar="FILE",
+                    help="serve: measure warm-batch throughput (pool vs "
+                         "fork-per-job driver) over the job set and write "
+                         "the comparison as JSON to FILE")
     ap.add_argument("--prewarm", default=None, choices=["nas"],
                     help="serve: compile the built-in NAS/paper kernel jobs "
                          "(declared grids plus a wildcard-grid rank sweep "
@@ -153,6 +171,16 @@ def main(argv: list[str] | None = None) -> int:
         from .chaos import crash_sweep, drop_sweep, format_chaos
 
         nprocs = args.nprocs if args.nprocs != 16 else 4  # class-S default grid
+        if args.service:
+            from ..compile.chaos import format_service_chaos, run_service_chaos
+
+            report = run_service_chaos(
+                seeds=args.seeds if args.seeds is not None else 25,
+                start_seed=args.start_seed,
+                progress=lambda msg: print(f"  [chaos] {msg}", flush=True),
+            )
+            print(format_service_chaos(report))
+            return 0 if report.ok else 1
         if args.real_process:
             from .chaos import format_proc_chaos, run_proc_chaos
 
@@ -342,6 +370,36 @@ def main(argv: list[str] | None = None) -> int:
             f"  on disk:   {p['disk_entries']} entries, "
             f"{p['bytes_on_disk']} bytes"
         )
+        # the compile-service pool over the same hermetic cache: a warm
+        # batch resolves at submission (admission-free, no worker charged)
+        from ..compile.driver import CompileJob
+        from ..compile.pool import CompilePool, PoolConfig
+
+        pool_jobs = [
+            CompileJob(source=src, nprocs=np_, params=params, label=name)
+            for name, src, np_, params in compiles
+        ]
+        with CompilePool(
+            PoolConfig(workers=2), cache=plan_cache,
+        ) as pool:
+            pool.run_batch(pool_jobs)
+            s = pool.stats
+        print("\ncompile pool (same cache; one warm batch):")
+        print(
+            f"  submitted: {s.submitted}   warm hits: {s.warm_hits}   "
+            f"coalesced: {s.coalesced}   compiled: {s.completed}"
+        )
+        print(
+            f"  queue:     depth {s.queue_depth}, peak {s.peak_queue_depth}"
+            f"   rejected: {s.rejected}   cancelled: {s.cancelled}"
+        )
+        print(
+            f"  failures:  {s.failed} failed / {s.retries} retries / "
+            f"{s.crashes} crashes / {s.stalls} stalls / "
+            f"{s.timeouts} timeouts / {s.quarantined} quarantined "
+            f"({s.quarantine_rejections} fast-fail rejections)"
+        )
+        print(f"  workers:   {s.forks} forks, {s.respawns} respawns")
     elif args.target == "cost":
         from .cost import run_cost
 
@@ -360,7 +418,7 @@ def main(argv: list[str] | None = None) -> int:
         from .fuzz import run_fuzz
 
         result = run_fuzz(
-            args.seeds,
+            args.seeds if args.seeds is not None else 300,
             start_seed=args.start_seed,
             progress=lambda msg: print(f"  [fuzz] {msg}", flush=True),
             do_shrink=not args.no_shrink,
@@ -463,10 +521,119 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  [serve] {out.job.describe()}: {status} "
                   f"[{how}, {out.elapsed:.2f}s]", flush=True)
 
-        outcomes = compile_many(
-            jobs, workers=args.workers, timeout=args.timeout,
-            progress=_report,
-        )
+        if args.throughput:
+            import tempfile
+            import time as _time
+
+            from ..compile import PlanCache, PlanCacheConfig, use_cache
+            from ..compile.pool import CompilePool, PoolConfig
+
+            cache = PlanCache(PlanCacheConfig(
+                directory=tempfile.mkdtemp(prefix="repro-serve-tp-")
+            ))
+            with use_cache(cache):
+                print(f"  [serve] populating plan cache "
+                      f"({len(jobs)} jobs)", flush=True)
+                t0 = _time.monotonic()
+                outcomes = compile_many(
+                    jobs, workers=args.workers, timeout=args.timeout,
+                    cache=cache,
+                )
+                cold_s = _time.monotonic() - t0
+                if not all(o.ok for o in outcomes):
+                    print("  [serve] populate pass failed; aborting")
+                    return 1
+                fork_warm_s = float("inf")
+                for _ in range(max(args.repeat, 3)):  # best-of: warm passes are noise-bound
+                    t0 = _time.monotonic()
+                    fork_out = compile_many(
+                        jobs, workers=args.workers, cache=cache,
+                    )
+                    fork_warm_s = min(fork_warm_s, _time.monotonic() - t0)
+                pool_warm_s = float("inf")
+                for _ in range(max(args.repeat, 3)):
+                    # fresh pool per pass: each pays its own ticket
+                    # admission, exactly like a fresh service instance
+                    with CompilePool(
+                        PoolConfig(workers=args.workers), cache=cache,
+                    ) as pool:
+                        t0 = _time.monotonic()
+                        pool_out = pool.run_batch(list(jobs))
+                        pool_warm_s = min(
+                            pool_warm_s, _time.monotonic() - t0
+                        )
+            ok = (all(o.ok for o in fork_out)
+                  and all(o.ok for o in pool_out))
+            result = {
+                "jobs": len(jobs),
+                "workers": args.workers,
+                "cold_populate_s": round(cold_s, 4),
+                "fork_warm_s": round(fork_warm_s, 4),
+                "pool_warm_s": round(pool_warm_s, 4),
+                "pool_vs_fork_warm_speedup": round(
+                    fork_warm_s / pool_warm_s, 3
+                ) if pool_warm_s > 0 else None,
+                "ok": ok,
+            }
+            atomic_write_text(
+                args.throughput,
+                json.dumps(result, indent=2, sort_keys=True) + "\n",
+            )
+            print(f"  [serve] warm batch: fork {fork_warm_s:.3f}s, "
+                  f"pool {pool_warm_s:.3f}s "
+                  f"({result['pool_vs_fork_warm_speedup']}x)")
+            print(f"wrote {args.throughput}")
+            return 0 if ok else 1
+
+        if args.pool:
+            import signal as _signal
+            import threading as _threading
+
+            from ..compile.pool import CompilePool, PoolConfig
+
+            pool = CompilePool(PoolConfig(
+                workers=args.workers, timeout=args.timeout,
+                max_queue=args.max_queue,
+            ))
+            drainer: list = []
+
+            def _on_term(signum, frame):
+                # graceful drain: stop admitting, finish in-flight work,
+                # shed the still-queued tail with typed CompileCancelled
+                # failures, reap every worker.  run_batch's waiters see
+                # the resolutions and return; cancelled jobs count as
+                # failures in the exit code.
+                print("  [serve] SIGTERM: draining (finishing in-flight, "
+                      "cancelling queued)", flush=True)
+                t = _threading.Thread(
+                    target=pool.shutdown,
+                    kwargs={"wait": True, "cancel_queued": True},
+                    daemon=True,
+                )
+                t.start()
+                drainer.append(t)
+
+            prev = _signal.signal(_signal.SIGTERM, _on_term)
+            try:
+                outcomes = compile_many(
+                    jobs, timeout=args.timeout, progress=_report, pool=pool,
+                )
+            finally:
+                _signal.signal(_signal.SIGTERM, prev)
+                if drainer:
+                    drainer[0].join(timeout=60.0)
+                else:
+                    pool.shutdown(wait=True)
+            s = pool.stats
+            print(f"  [serve] pool: {s.forks} forks, {s.warm_hits} warm, "
+                  f"{s.coalesced} coalesced, {s.retries} retries, "
+                  f"{s.quarantined} quarantined, "
+                  f"peak queue {s.peak_queue_depth}", flush=True)
+        else:
+            outcomes = compile_many(
+                jobs, workers=args.workers, timeout=args.timeout,
+                progress=_report,
+            )
         rows = []
         for out in outcomes:
             rows.append({

@@ -1,29 +1,56 @@
 """Statement AST: assignments, DO loops, IF, CALL.
 
-Every statement carries a process-unique ``sid`` used as the key for
-analysis results (dependence edges, CP assignments, communication events).
-Statements are mutable containers (bodies are lists) because the compiler
-restructures them (loop distribution), but expressions are immutable.
+Every statement carries a ``sid``, unique within its compilation, used
+as the key for analysis results (dependence edges, CP assignments,
+communication events).  Statements are mutable containers (bodies are
+lists) because the compiler restructures them (loop distribution), but
+expressions are immutable.
+
+Sids are allocated from a *thread-local* counter that the pipeline
+resets at the start of every compilation (:func:`reset_sids`).  This
+makes compilation deterministic: the sids leak into emitted node
+programs (``G.segments(<sid>, ...)``), so a process-global counter would
+make the same source compile to different bytes depending on what the
+process compiled before — breaking the plan cache's bitwise warm==cold
+contract and the chaos harness's fault-free-identity invariant.
 """
 
 from __future__ import annotations
 
-import itertools
+import threading
 from typing import Iterable, Iterator, Optional
 
 from .expr import ArrayRef, Expr, Num, Var
 
-_sid_counter = itertools.count(1)
+_sids = threading.local()
+
+
+def _next_sid() -> int:
+    n = getattr(_sids, "next", 1)
+    _sids.next = n + 1
+    return n
+
+
+def reset_sids(start: int = 1) -> None:
+    """Restart this thread's sid allocator at *start*.
+
+    The staged pipeline calls this with 1 before a fresh parse, and with
+    ``max(sid) + 1`` of a warm artifact's statements before resuming a
+    compilation mid-pipeline — so statements created by later transforms
+    (loop distribution, inlining, interchange) get the same sids warm as
+    they would cold."""
+    _sids.next = start
 
 
 class Stmt:
-    """Base statement. ``sid`` is unique per process; ``label`` is an
-    optional human-readable tag (the paper numbers statements 1..30)."""
+    """Base statement. ``sid`` is unique within a compilation; ``label``
+    is an optional human-readable tag (the paper numbers statements
+    1..30)."""
 
     __slots__ = ("sid", "label", "lineno")
 
     def __init__(self, label: str | None = None, lineno: int = 0):
-        self.sid: int = next(_sid_counter)
+        self.sid: int = _next_sid()
         self.label = label
         self.lineno = lineno
 

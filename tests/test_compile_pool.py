@@ -1,0 +1,375 @@
+"""Supervised persistent compile pool: the crash-only service engine.
+
+The pool must keep a fixed gang of forked workers alive across a whole
+batch (``workers`` forks, not one per job), retry jobs whose worker
+crashed with an ``I-RETRY`` diagnostic, quarantine poisoned jobs with a
+typed :class:`CompileQuarantined` and an ``E-QUARANTINE`` diagnostic,
+bound admission at ``max_queue`` (blocking or raising a typed
+:class:`ServiceOverloaded`), coalesce identical submissions onto one
+build, resolve warm cache hits without charging a worker, and reap every
+child on shutdown — no exit path leaves an orphan.
+
+Fault injection uses the fork-inheritance idiom: monkeypatching
+``driver._build_for_job`` *before* the pool is constructed (or before a
+respawn) is visible inside the forked workers, which resolve the build
+function at call time.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.compile import PlanCache, PlanCacheConfig, use_cache
+from repro.compile.driver import CompileJob, compile_many
+from repro.compile.pool import (
+    CompileCancelled,
+    CompilePool,
+    CompileQuarantined,
+    PoolClosed,
+    PoolConfig,
+    ServiceOverloaded,
+)
+from repro.runtime.procexec import WorkerTimeout
+
+TEMPLATE = """
+      subroutine k(n)
+      integer n, i
+      parameter (nx = 15)
+      double precision a(0:nx), b(0:nx)
+chpf$ processors procs(4)
+chpf$ template t(0:nx)
+chpf$ align a(i) with t(i)
+chpf$ align b(i) with t(i)
+chpf$ distribute t(block) onto procs
+      do i = 1, n - 1
+         a(i) = b(i-1) + {const}
+      enddo
+      end
+"""
+
+
+def _jobs(n, timeout=None):
+    """n distinct small jobs (distinct constants -> distinct plan keys)."""
+    return [
+        CompileJob(TEMPLATE.format(const=f"{i}.0"), 4, {"n": 8},
+                   label=f"k{i}", timeout=timeout)
+        for i in range(n)
+    ]
+
+
+def _fast_config(**kw):
+    """Pool config with backoffs short enough for tests."""
+    kw.setdefault("workers", 2)
+    kw.setdefault("backoff_base", 0.02)
+    kw.setdefault("backoff_max", 0.1)
+    return PoolConfig(**kw)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    c = PlanCache(PlanCacheConfig(directory=str(tmp_path / "plans")))
+    with use_cache(c):
+        yield c
+
+
+def _recording_build(record_path, real):
+    """A build fn that appends one line per invocation (O_APPEND from
+    forked workers is atomic for these short writes)."""
+
+    def build(job):
+        with open(record_path, "a") as fh:
+            fh.write(f"{job.label}\n")
+        return real(job)
+
+    return build
+
+
+class TestPersistence:
+    def test_batch_pays_workers_forks_not_jobs(self, cache):
+        with CompilePool(_fast_config(workers=2), cache=cache) as pool:
+            outcomes = pool.run_batch(_jobs(5))
+            assert all(o.ok for o in outcomes)
+            assert pool.stats.forks == 2  # 5 jobs, 2 forks
+            assert pool.stats.respawns == 0
+            assert pool.stats.completed == 5
+
+    def test_warm_batch_never_charges_a_worker(self, cache, monkeypatch, tmp_path):
+        import repro.compile.driver as driver
+
+        jobs = _jobs(3)
+        with CompilePool(_fast_config(), cache=cache) as pool:
+            assert all(o.ok for o in pool.run_batch(jobs))
+        record = tmp_path / "builds.txt"
+        monkeypatch.setattr(
+            driver, "_build_for_job",
+            _recording_build(record, driver._build_for_job),
+        )
+        with CompilePool(_fast_config(), cache=cache) as pool:
+            outcomes = pool.run_batch(jobs)
+            assert all(o.ok and o.cached for o in outcomes)
+            assert pool.stats.warm_hits == 3
+            assert pool.stats.completed == 0  # no build reached a worker
+        assert not record.exists()  # and none was even started
+
+    def test_warm_results_match_cold(self, cache):
+        jobs = _jobs(2)
+        with CompilePool(_fast_config(), cache=cache) as pool:
+            cold = pool.run_batch(jobs)
+        with CompilePool(_fast_config(), cache=cache) as pool:
+            warm = pool.run_batch(jobs)
+        for c, w in zip(cold, warm):
+            assert c.kernel.python_source("mpi") == \
+                w.kernel.python_source("mpi")
+
+
+class TestSingleFlight:
+    def test_stampede_shares_one_build(self, cache, monkeypatch, tmp_path):
+        import repro.compile.driver as driver
+
+        record = tmp_path / "builds.txt"
+        real = driver._build_for_job
+        recording = _recording_build(record, real)
+
+        def slow_recording(job):
+            time.sleep(0.5)  # hold the build so the stampede overlaps it
+            return recording(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", slow_recording)
+        job = _jobs(1)[0]
+        with CompilePool(_fast_config(workers=2), cache=cache) as pool:
+            tickets = [pool.submit(job) for _ in range(6)]
+            assert len({id(t) for t in tickets}) == 1  # all coalesced
+            out = pool.wait(tickets[0], timeout=120)
+            assert out.ok
+            assert pool.stats.coalesced == 5
+            assert pool.stats.completed == 1
+        assert record.read_text().count("\n") == 1  # exactly one build
+
+
+class TestRetryAndQuarantine:
+    def test_crash_retries_then_succeeds_with_iretry(
+        self, cache, monkeypatch, tmp_path,
+    ):
+        import repro.compile.driver as driver
+
+        marker = tmp_path / "attempts.txt"
+        real = driver._build_for_job
+
+        def flaky(job):
+            if job.label == "flaky":
+                with open(marker, "a") as fh:
+                    fh.write("x")
+                if marker.stat().st_size < 3:  # die on attempts 1 and 2
+                    os.kill(os.getpid(), signal.SIGKILL)
+            return real(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", flaky)
+        job = CompileJob(TEMPLATE.format(const="5.5"), 4, {"n": 8},
+                         label="flaky")
+        with CompilePool(
+            _fast_config(workers=1, max_attempts=3), cache=cache,
+        ) as pool:
+            out = pool.wait(pool.submit(job), timeout=120)
+            assert out.ok
+            assert pool.stats.crashes == 2
+            assert pool.stats.retries == 2
+            assert pool.stats.respawns == 2  # each crash cost a worker
+            retried = out.sink.by_code("I-RETRY")
+            assert len(retried) == 1
+            assert "2 worker crashes" in retried[0].message
+
+    def test_poisoned_job_is_quarantined_with_history(
+        self, cache, monkeypatch,
+    ):
+        import repro.compile.driver as driver
+
+        real = driver._build_for_job
+
+        def poison(job):
+            if job.label == "poison":
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", poison)
+        job = CompileJob(TEMPLATE.format(const="6.6"), 4, {"n": 8},
+                         label="poison")
+        with CompilePool(
+            _fast_config(workers=1, max_attempts=2), cache=cache,
+        ) as pool:
+            out = pool.wait(pool.submit(job), timeout=120)
+            assert not out.ok
+            assert isinstance(out.error, CompileQuarantined)
+            assert len(out.error.history) == 2
+            assert all(a.kind == "crash" for a in out.error.history)
+            assert out.sink.by_code("E-QUARANTINE")
+            assert pool.stats.quarantined == 1
+            # resubmission fails fast: no new attempt, no new respawn
+            respawns = pool.stats.respawns
+            out2 = pool.wait(pool.submit(job), timeout=10)
+            assert isinstance(out2.error, CompileQuarantined)
+            assert pool.stats.quarantine_rejections >= 1
+            assert pool.stats.respawns == respawns
+            # and a healthy job still compiles on the recovered pool
+            ok = pool.wait(pool.submit(_jobs(1)[0]), timeout=120)
+            assert ok.ok
+
+    def test_timeout_is_typed_and_never_retried(self, cache, monkeypatch):
+        import repro.compile.driver as driver
+
+        real = driver._build_for_job
+
+        def sleepy(job):
+            if job.label == "sleepy":
+                time.sleep(60)
+            return real(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", sleepy)
+        job = CompileJob(TEMPLATE.format(const="7.7"), 4, {"n": 8},
+                         label="sleepy", timeout=1.0)
+        with CompilePool(_fast_config(workers=1), cache=cache) as pool:
+            t0 = time.monotonic()
+            out = pool.wait(pool.submit(job), timeout=120)
+            assert time.monotonic() - t0 < 30
+            assert isinstance(out.error, WorkerTimeout)
+            assert pool.stats.timeouts == 1
+            assert pool.stats.retries == 0  # a deadline is final
+
+
+class TestBackpressure:
+    def test_reject_policy_raises_typed_overload(
+        self, cache, monkeypatch,
+    ):
+        import repro.compile.driver as driver
+
+        real = driver._build_for_job
+
+        def slow(job):
+            time.sleep(1.5)
+            return real(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", slow)
+        jobs = _jobs(3)
+        config = _fast_config(workers=1, max_queue=1, overload="reject")
+        with CompilePool(config, cache=cache) as pool:
+            t_a = pool.submit(jobs[0], block=True)
+            # wait for A to be dispatched so B takes the only queue slot
+            deadline = time.monotonic() + 10
+            while pool.queue_depth() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            t_b = pool.submit(jobs[1], block=True)
+            with pytest.raises(ServiceOverloaded) as ei:
+                pool.submit(jobs[2])
+            assert ei.value.depth == 1
+            assert pool.stats.rejected == 1
+            assert pool.wait(t_a, timeout=120).ok
+            assert pool.wait(t_b, timeout=120).ok
+
+    def test_block_policy_bounds_queue_without_losing_jobs(self, cache):
+        config = _fast_config(workers=1, max_queue=1, overload="block")
+        with CompilePool(config, cache=cache) as pool:
+            outcomes = pool.run_batch(_jobs(4))
+            assert all(o.ok for o in outcomes)
+            assert pool.stats.peak_queue_depth <= 1
+            assert pool.stats.rejected == 0
+
+    def test_warm_hits_are_admission_free(self, cache, monkeypatch):
+        import repro.compile.driver as driver
+
+        with CompilePool(_fast_config(), cache=cache) as pool:
+            pool.run_batch(_jobs(2))
+        real = driver._build_for_job
+
+        def slow(job):
+            time.sleep(1.5)
+            return real(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", slow)
+        config = _fast_config(workers=1, max_queue=1, overload="reject")
+        with CompilePool(config, cache=cache) as pool:
+            pool.submit(_jobs(3)[2], block=True)  # cold: occupies the worker
+            deadline = time.monotonic() + 10
+            while pool.queue_depth() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            pool.submit(_jobs(4)[3], block=True)  # cold: fills the queue
+            # warm submissions sail past the full queue
+            for t in (pool.submit(j) for j in _jobs(2)):
+                assert t.cached and pool.wait(t, timeout=10).ok
+            assert pool.stats.rejected == 0
+
+
+class TestShutdown:
+    def test_shutdown_reaps_every_worker(self, cache):
+        pool = CompilePool(_fast_config(workers=3), cache=cache)
+        try:
+            assert all(o.ok for o in pool.run_batch(_jobs(2)))
+            pids = pool.worker_pids()
+            assert len(pids) == 3
+        finally:
+            pool.shutdown()
+        deadline = time.monotonic() + 10
+        live = set(pids)
+        while live and time.monotonic() < deadline:
+            for pid in list(live):
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    live.discard(pid)
+            time.sleep(0.02)
+        assert not live  # no orphans
+
+    def test_cancel_queued_fails_typed_finishes_inflight(
+        self, cache, monkeypatch,
+    ):
+        import repro.compile.driver as driver
+
+        real = driver._build_for_job
+
+        def slow(job):
+            time.sleep(1.0)
+            return real(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", slow)
+        jobs = _jobs(2)
+        pool = CompilePool(_fast_config(workers=1), cache=cache)
+        t_a = pool.submit(jobs[0])
+        deadline = time.monotonic() + 10
+        while pool.queue_depth() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        t_b = pool.submit(jobs[1])  # still queued when the drain starts
+        pool.shutdown(wait=True, cancel_queued=True)
+        assert pool.wait(t_a, timeout=10).ok  # in-flight work finished
+        out_b = pool.wait(t_b, timeout=10)
+        assert isinstance(out_b.error, CompileCancelled)
+        assert pool.stats.cancelled == 1
+
+    def test_submit_after_shutdown_raises(self, cache):
+        pool = CompilePool(_fast_config(workers=1), cache=cache)
+        pool.shutdown()
+        with pytest.raises(PoolClosed):
+            pool.submit(_jobs(1)[0])
+
+
+class TestCompileManyPoolPath:
+    def test_pool_arg_routes_batch_through_pool(self, cache):
+        jobs = _jobs(3) + _jobs(1)  # index 3 duplicates index 0
+        with CompilePool(_fast_config(workers=2), cache=cache) as pool:
+            outcomes = compile_many(jobs, cache=cache, pool=pool)
+            assert [o.index for o in outcomes] == [0, 1, 2, 3]
+            assert all(o.ok for o in outcomes)
+            assert outcomes[3].shared
+            assert pool.stats.submitted == 4
+
+
+class TestDeterminism:
+    def test_same_source_builds_identical_bytes(self, cache):
+        """Sid allocation is reset per compilation, so the same source
+        yields byte-identical artifacts regardless of what the process
+        compiled before (the chaos harness's identity invariant)."""
+        from repro.compile.driver import _build_for_job
+
+        job_a, job_b = _jobs(2)
+        first = _build_for_job(job_a)
+        _build_for_job(job_b)  # pollute allocator state
+        assert _build_for_job(job_a) == first

@@ -155,6 +155,52 @@ class TestCompileMany:
         assert outcomes[0].ok and outcomes[1].ok
         assert isinstance(outcomes[2].error, WorkerCrashed)
 
+    def test_duplicate_digest_jobs_both_time_out(self, cache, monkeypatch):
+        """Jobs that coalesced onto one hung build must all surface the
+        same typed WorkerTimeout — no rider left unresolved."""
+        import repro.compile.driver as driver
+
+        real = driver._build_for_job
+
+        def slow_build(job):
+            if job.label == "slow":
+                time.sleep(60)
+            return real(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", slow_build)
+        twin = [
+            CompileJob(TEMPLATE.format(const="99.0"), 4, {"n": 8},
+                       label="slow", timeout=1.5)
+            for _ in range(2)
+        ]
+        t0 = time.monotonic()
+        outcomes = compile_many(_jobs(1) + twin, workers=2, cache=cache)
+        assert time.monotonic() - t0 < 45
+        assert outcomes[0].ok
+        assert isinstance(outcomes[1].error, WorkerTimeout)
+        assert isinstance(outcomes[2].error, WorkerTimeout)
+
+    def test_warm_hit_never_launches_a_worker(self, cache, monkeypatch, tmp_path):
+        """A warm batch resolves from the cache probe alone: the build
+        function must not run in any child (recorded via an append-only
+        file the forked workers would inherit)."""
+        import repro.compile.driver as driver
+
+        jobs = _jobs(2)
+        compile_many(jobs, workers=2, cache=cache)
+        record = tmp_path / "builds.txt"
+        real = driver._build_for_job
+
+        def recording_build(job):
+            with open(record, "a") as fh:
+                fh.write(f"{job.label}\n")
+            return real(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", recording_build)
+        outcomes = compile_many(jobs, workers=2, cache=cache)
+        assert all(o.ok and o.cached for o in outcomes)
+        assert not record.exists()
+
     def test_empty_batch(self, cache):
         assert compile_many([], workers=2, cache=cache) == []
 
@@ -210,3 +256,56 @@ class TestCompileService:
         svc.shutdown()
         with pytest.raises(ServiceClosed):
             svc.submit(TEMPLATE.format(const="1.0"), 4, {"n": 8})
+
+    def test_stampede_launches_one_build(self, cache, monkeypatch, tmp_path):
+        """Single-flight: N concurrent submissions of the same source
+        while the first build is still in flight share one worker launch
+        (counted via an append-only file the forked workers inherit)."""
+        import repro.compile.driver as driver
+
+        from repro.compile.service import CompileService
+
+        record = tmp_path / "builds.txt"
+        real = driver._build_for_job
+
+        def slow_recording(job):
+            time.sleep(0.5)  # hold the build so the stampede overlaps it
+            with open(record, "a") as fh:
+                fh.write(f"{job.label}\n")
+            return real(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", slow_recording)
+        src = TEMPLATE.format(const="3.0")
+        with CompileService(workers=2, cache=cache) as svc:
+            tickets = [svc.submit(src, 4, {"n": 8}) for _ in range(8)]
+            assert len({id(t) for t in tickets}) == 1
+            outs = [svc.collect(t, timeout=120) for t in tickets]
+        assert all(o.ok for o in outs)
+        assert record.read_text().count("\n") == 1  # one launch total
+
+    def test_overload_reject_surfaces_typed_error(self, cache, monkeypatch):
+        """The service forwards the pool's backpressure: past max_queue
+        with overload='reject', submit raises ServiceOverloaded."""
+        import repro.compile.driver as driver
+
+        from repro.compile.service import CompileService, ServiceOverloaded
+
+        real = driver._build_for_job
+
+        def slow(job):
+            time.sleep(1.5)
+            return real(job)
+
+        monkeypatch.setattr(driver, "_build_for_job", slow)
+        with CompileService(
+            workers=1, cache=cache, max_queue=1, overload="reject",
+        ) as svc:
+            t_a = svc.submit(TEMPLATE.format(const="10.0"), 4, {"n": 8})
+            deadline = time.monotonic() + 10
+            while svc._pool.queue_depth() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            t_b = svc.submit(TEMPLATE.format(const="11.0"), 4, {"n": 8})
+            with pytest.raises(ServiceOverloaded):
+                svc.submit(TEMPLATE.format(const="12.0"), 4, {"n": 8})
+            assert svc.collect(t_a, timeout=120).ok
+            assert svc.collect(t_b, timeout=120).ok

@@ -379,3 +379,83 @@ class TestDifferential:
         ] == [
             (d.severity, d.code, d.message) for d in s_warm.diagnostics
         ]
+
+
+# ---------------------------------------------------------------------------
+# cross-process races: vanished files, clear() resurrection, hammering
+# ---------------------------------------------------------------------------
+
+class TestCrossProcessRaces:
+    def test_budget_enforcement_tolerates_vanished_entries(
+        self, tmp_path, monkeypatch,
+    ):
+        """A concurrent evictor (or clear()) may unlink an entry between
+        our listing and our unlink — the bytes are gone either way, not
+        an error."""
+        cache = PlanCache(PlanCacheConfig(
+            directory=str(tmp_path / "d"), max_disk_bytes=1024,
+        ))
+        digest = "ab" * 32
+        cache.put(digest, b"x" * 500)
+        ghost = os.path.join(
+            str(tmp_path / "d"), "de", "ad" * 31 + ".plan"
+        )
+        stale = cache._disk_entries() + [(ghost, 4096, 0.0)]
+        monkeypatch.setattr(cache, "_disk_entries", lambda: stale)
+        cache._enforce_disk_budget()  # must not raise on the ghost
+        monkeypatch.undo()
+        assert cache.get(digest) is not None  # survivor intact
+
+    def test_clear_cannot_resurrect_inflight_put(self, tmp_path):
+        """A put that started before clear() but lands after must not
+        survive: the caller explicitly invalidated the cache, and the
+        generation marker makes the late writer notice and self-evict."""
+        cache = PlanCache(PlanCacheConfig(directory=str(tmp_path / "d")))
+        digest = "cd" * 32
+        fired = []
+
+        def hook(op, d):
+            # fires inside _disk_put, after the writer read the current
+            # generation: exactly the lost-race window
+            if op == "disk_put" and not fired:
+                fired.append(True)
+                cache.clear()
+
+        cache.fault_hook = hook
+        cache.put(digest, b"payload")
+        cache.fault_hook = None
+        assert fired
+        assert cache.get(digest) is None  # not resurrected
+        assert cache.disk_entries() == 0
+        assert cache.stray_tmp_files() == []
+
+    def test_get_tolerates_file_vanishing_midway(self, tmp_path):
+        """An entry unlinked between listing and open is a miss, not an
+        exception."""
+        cache = PlanCache(PlanCacheConfig(
+            directory=str(tmp_path / "d"), max_lru_entries=0,
+        ))
+        digest = "ef" * 32
+        cache.put(digest, b"payload")
+
+        def hook(op, d):
+            if op == "disk_get":
+                os.unlink(cache._path(d))
+
+        cache.fault_hook = hook
+        assert cache.get(digest) is None
+        cache.fault_hook = None
+
+    def test_multiprocess_hammer_never_reads_torn_bytes(self, tmp_path):
+        """Concurrent writers, readers, evictors, and clear()ers on one
+        directory: every read returns the exact expected bytes or a miss,
+        and no tmp files leak."""
+        from repro.compile.chaos import run_cache_hammer
+
+        res = run_cache_hammer(
+            str(tmp_path / "h"), processes=3, iters=25, seed=7,
+        )
+        assert res["ok"]
+        assert res["corrupt_reads"] == 0
+        assert res["stray_tmp"] == 0
+        assert res["puts"] > 0 and res["gets"] > 0
